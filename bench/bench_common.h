@@ -1,0 +1,84 @@
+// Shared setup for the paper-reproduction bench binaries.
+#ifndef NGX_BENCH_BENCH_COMMON_H_
+#define NGX_BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "src/alloc/registry.h"
+#include "src/core/nextgen_malloc.h"
+#include "src/workload/report.h"
+#include "src/workload/runner.h"
+#include "src/workload/xalanc.h"
+
+namespace ngx {
+namespace bench {
+
+// The xalancbmk-scale stand-in used by Figure 1 / Table 1 / Table 3.
+inline XalancConfig XalancBenchConfig() {
+  XalancConfig cfg;
+  cfg.documents = 10;
+  cfg.nodes_per_doc = 9000;
+  cfg.transform_passes = 3;
+  cfg.compute_per_node = 1600;
+  cfg.retain_percent = 15;
+  cfg.retain_window = 4;
+  return cfg;
+}
+
+// Table 3's operating point: the paper's xalancbmk spends ~5000 cycles of
+// application work per malloc/free pair (0.7e12 cycles / 1.4e8 pairs on its
+// A1 run); the denser default config above is used for Table 1 / Figure 1
+// where allocation pressure itself is under study.
+inline XalancConfig XalancTable3Config() {
+  XalancConfig cfg = XalancBenchConfig();
+  cfg.compute_per_node = 9000;
+  cfg.chase_per_visit = 3;
+  return cfg;
+}
+
+struct XalancRun {
+  RunResult result;
+  std::string allocator;
+};
+
+// Runs the xalanc-like workload single-threaded on a fresh scaled machine
+// with the named baseline allocator.
+inline XalancRun RunXalancBaseline(const std::string& allocator_name,
+                                   const XalancConfig& wl_cfg, std::uint64_t seed = 7) {
+  Machine machine(MachineConfig::ScaledWorkstation(2));
+  auto alloc = CreateAllocator(allocator_name, machine);
+  XalancLike workload(wl_cfg);
+  RunOptions opt;
+  opt.cores = {0};
+  opt.seed = seed;
+  XalancRun out;
+  out.result = RunWorkload(machine, *alloc, workload, opt);
+  out.allocator = allocator_name;
+  return out;
+}
+
+// Runs the same workload with NextGen-Malloc (offloaded; server core 1).
+inline XalancRun RunXalancNextGen(const NgxConfig& cfg, const XalancConfig& wl_cfg,
+                                  std::uint64_t seed = 7) {
+  Machine machine(MachineConfig::ScaledWorkstation(2));
+  NgxSystem sys = MakeNgxSystem(machine, cfg, /*server_core=*/1);
+  XalancLike workload(wl_cfg);
+  RunOptions opt;
+  opt.cores = {0};
+  opt.seed = seed;
+  opt.server_core = cfg.offload ? 1 : -1;
+  XalancRun out;
+  out.result = RunWorkload(machine, *sys.allocator, workload, opt);
+  if (sys.engine) {
+    sys.engine->DrainAll();
+  }
+  out.allocator = "nextgen";
+  return out;
+}
+
+}  // namespace bench
+}  // namespace ngx
+
+#endif  // NGX_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,67 @@
+// Reproduces Table 2: PMU counters for the xmalloc workload (cross-thread
+// producer/consumer frees) on TCMalloc with 1, 2, 4 and 8 threads.
+//
+// Paper shape: with the total amount of work fixed, LLC load misses grow by
+// more than 10x from 1 to 8 threads (1.22e5 -> 1.18e7) because threads
+// contend for thread-cache/central metadata and freed blocks bounce between
+// cores; cycles grow ~4.5x while instructions only ~2x.
+#include "bench/bench_common.h"
+#include "src/workload/xmalloc.h"
+
+int main() {
+  using namespace ngx;
+  using namespace ngx::bench;
+
+  std::cout << "=== Table 2: xmalloc on TCMalloc vs thread count ===\n\n";
+
+  // Fixed offered load per thread (the multi-threaded benchmark runs one
+  // loop per thread); total work scales with the thread count.
+  const std::uint32_t kOpsPerThread = 20000;
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+
+  struct Row {
+    int threads;
+    PmuCounters pmu;
+    std::uint64_t wall;
+  };
+  std::vector<Row> rows;
+
+  for (const int n : thread_counts) {
+    Machine machine(MachineConfig::Default(n));
+    auto alloc = CreateAllocator("tcmalloc", machine);
+    XmallocConfig cfg;
+    cfg.ops_per_thread = kOpsPerThread;
+    XmallocLike workload(cfg);
+    RunOptions opt;
+    opt.cores = FirstCores(n);
+    opt.seed = 11;
+    const RunResult r = RunWorkload(machine, *alloc, workload, opt);
+    rows.push_back(Row{n, r.app, r.wall_cycles});
+    std::cerr << "[done] threads=" << n << "\n";
+  }
+
+  TextTable t({"# of threads", "1", "2", "4", "8"});
+  auto add = [&](const std::string& label, auto getter) {
+    std::vector<std::string> cells{label};
+    for (const Row& r : rows) {
+      cells.push_back(FormatSci(static_cast<double>(getter(r))));
+    }
+    t.AddRow(std::move(cells));
+  };
+  add("cycles", [](const Row& r) { return r.pmu.cycles; });
+  add("instructions", [](const Row& r) { return r.pmu.instructions; });
+  add("LLC-load-misses", [](const Row& r) { return r.pmu.llc_load_misses; });
+  add("LLC-store-misses", [](const Row& r) { return r.pmu.llc_store_misses; });
+  add("remote-HITM", [](const Row& r) { return r.pmu.remote_hitm; });
+  std::cout << t.ToString() << "\n";
+
+  const double llc1 = static_cast<double>(rows.front().pmu.llc_load_misses);
+  const double llc8 = static_cast<double>(rows.back().pmu.llc_load_misses);
+  TextTable shape({"shape metric", "paper", "measured"});
+  shape.AddRow({"LLC-load-misses 8T / 1T", ">10x", FormatRatio(llc8 / std::max(1.0, llc1))});
+  shape.AddRow({"cycles 8T / 1T", "~4.5x",
+                FormatRatio(static_cast<double>(rows.back().pmu.cycles) /
+                            static_cast<double>(rows.front().pmu.cycles))});
+  std::cout << shape.ToString();
+  return 0;
+}

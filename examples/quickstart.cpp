@@ -1,0 +1,47 @@
+// Quickstart: build a simulated machine, create NextGen-Malloc with its
+// dedicated allocator core, allocate and free, and read the PMU counters.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "src/core/nextgen_malloc.h"
+#include "src/workload/report.h"
+
+using namespace ngx;
+
+int main() {
+  // A 4-core machine; NextGen-Malloc gets core 3 as its own room.
+  Machine machine(MachineConfig::Default(4));
+  NgxSystem sys = MakeNgxSystem(machine, NgxConfig::PaperPrototype());
+  std::cout << "allocator server runs on core " << sys.engine->server_core() << "\n\n";
+
+  // The application runs on core 0. Every Load/Store below is a *timed*
+  // simulated access that walks the cache/TLB hierarchy.
+  Env app(machine, 0);
+
+  // malloc: a synchronous mailbox round trip to the allocator core.
+  const Addr block = sys.allocator->Malloc(app, 256);
+  std::cout << "malloc(256) -> 0x" << std::hex << block << std::dec << " ("
+            << sys.allocator->UsableSize(app, block) << " usable bytes)\n";
+
+  // Use the memory like a program would.
+  app.Store<std::uint64_t>(block, 0xfeedface);
+  std::cout << "stored/loaded: 0x" << std::hex << app.Load<std::uint64_t>(block) << std::dec
+            << "\n";
+
+  // free: fire-and-forget onto the async ring (not on the critical path).
+  sys.allocator->Free(app, block);
+  sys.allocator->Flush(app);  // drain for deterministic stats
+
+  std::cout << "\napplication core counters:\n"
+            << machine.core(0).pmu().ToString() << "\n"
+            << "allocator core counters (metadata stays here -- the whole point):\n"
+            << machine.core(3).pmu().ToString();
+
+  const AllocatorStats s = sys.allocator->stats();
+  std::cout << "\nallocator stats: " << s.mallocs << " mallocs, " << s.frees << " frees, "
+            << s.mapped_bytes << " bytes mapped\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// xml_pipeline: the paper's motivating scenario -- an XML-processing
+// pipeline (xalancbmk-like) whose end-to-end time depends strongly on the
+// allocator although it spends only a few percent of its time in
+// malloc/free.
+//
+// Runs the same pipeline under every baseline allocator plus NextGen-Malloc
+// and prints a Figure-1-style comparison.
+//
+//   ./build/examples/xml_pipeline [documents] [nodes_per_doc]
+#include <cstdlib>
+#include <iostream>
+
+#include "src/alloc/registry.h"
+#include "src/core/nextgen_malloc.h"
+#include "src/workload/report.h"
+#include "src/workload/runner.h"
+#include "src/workload/xalanc.h"
+
+using namespace ngx;
+
+int main(int argc, char** argv) {
+  XalancConfig wl_cfg;
+  wl_cfg.documents = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 6;
+  wl_cfg.nodes_per_doc = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 6000;
+  wl_cfg.compute_per_node = 1200;
+
+  std::cout << "XML pipeline: " << wl_cfg.documents << " documents x " << wl_cfg.nodes_per_doc
+            << " nodes\n\n";
+
+  TextTable t({"allocator", "exec cycles", "LLC-load-MPKI", "dTLB-load-MPKI",
+               "time in alloc", "heap mapped"});
+
+  std::uint64_t pt_cycles = 0;
+  for (const std::string& name : BaselineAllocatorNames()) {
+    Machine machine(MachineConfig::ScaledWorkstation(2));
+    auto alloc = CreateAllocator(name, machine);
+    XalancLike workload(wl_cfg);
+    RunOptions opt;
+    opt.cores = {0};
+    const RunResult r = RunWorkload(machine, *alloc, workload, opt);
+    if (pt_cycles == 0) {
+      pt_cycles = r.wall_cycles;
+    }
+    t.AddRow({name, FormatSci(static_cast<double>(r.wall_cycles)),
+              FormatFixed(r.app.LlcLoadMpki(), 3), FormatFixed(r.app.DtlbLoadMpki(), 3),
+              FormatFixed(100.0 * r.MallocTimeShare(), 1) + "%",
+              FormatInt(r.alloc_stats.mapped_bytes)});
+    std::cerr << "[done] " << name << "\n";
+  }
+  {
+    Machine machine(MachineConfig::ScaledWorkstation(2));
+    NgxSystem sys = MakeNgxSystem(machine, NgxConfig::PaperPrototype(), 1);
+    XalancLike workload(wl_cfg);
+    RunOptions opt;
+    opt.cores = {0};
+    opt.server_core = 1;
+    const RunResult r = RunWorkload(machine, *sys.allocator, workload, opt);
+    sys.engine->DrainAll();
+    t.AddRow({"nextgen (offloaded)", FormatSci(static_cast<double>(r.wall_cycles)),
+              FormatFixed(r.app.LlcLoadMpki(), 3), FormatFixed(r.app.DtlbLoadMpki(), 3),
+              FormatFixed(100.0 * r.MallocTimeShare(), 1) + "%",
+              FormatInt(r.alloc_stats.mapped_bytes)});
+    std::cerr << "[done] nextgen\n";
+  }
+
+  std::cout << t.ToString() << "\n(PTMalloc2 baseline: " << FormatSci(double(pt_cycles))
+            << " cycles)\n";
+  return 0;
+}

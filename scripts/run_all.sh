@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Builds, tests, and regenerates every paper table/figure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

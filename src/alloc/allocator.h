@@ -1,0 +1,61 @@
+// Abstract user-level memory allocator (UMA) interface.
+//
+// Allocators manage *simulated* memory: every piece of persistent metadata
+// (bins, free lists, bitmaps, page maps, thread caches) lives in SimMemory
+// and is touched through Env, so its cache/TLB footprint is fully visible to
+// the machine model. Thread identity is the calling Env's core id (threads
+// are pinned 1:1 to cores).
+#ifndef NGX_SRC_ALLOC_ALLOCATOR_H_
+#define NGX_SRC_ALLOC_ALLOCATOR_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/sim/env.h"
+
+namespace ngx {
+
+struct AllocatorStats {
+  std::uint64_t mallocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t bytes_requested = 0;  // sum of malloc() arguments
+  std::uint64_t bytes_live = 0;       // requested bytes not yet freed
+  std::uint64_t mapped_bytes = 0;     // virtual memory obtained from the OS
+  std::uint64_t mmap_calls = 0;
+  std::uint64_t munmap_calls = 0;
+  std::uint64_t oom_failures = 0;
+
+  // mapped/live: >1 means internal+external fragmentation and cache overhead.
+  double FootprintRatio() const {
+    return bytes_live == 0 ? 0.0 : static_cast<double>(mapped_bytes) / bytes_live;
+  }
+};
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Returns the simulated address of a block of at least `size` bytes, or
+  // kNullAddr on failure. Alignment is at least 16 bytes.
+  virtual Addr Malloc(Env& env, std::uint64_t size) = 0;
+
+  // Releases a block previously returned by Malloc. `addr` may have been
+  // allocated by any thread (cross-thread frees are the point of Table 2).
+  virtual void Free(Env& env, Addr addr) = 0;
+
+  // Usable size of an allocated block (>= requested size). May charge
+  // metadata accesses.
+  virtual std::uint64_t UsableSize(Env& env, Addr addr) = 0;
+
+  // Drains any deferred work (thread-cache scavenge, async free queues).
+  // Called by the runner at the end of a run so footprint stats settle.
+  virtual void Flush(Env& env) { (void)env; }
+
+  virtual AllocatorStats stats() const = 0;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_ALLOC_ALLOCATOR_H_

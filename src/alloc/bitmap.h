@@ -1,0 +1,61 @@
+// A bitmap stored in simulated memory (one u64 per 64 bits), used for
+// jemalloc-style run region maps. Scans charge a load per word visited.
+#ifndef NGX_SRC_ALLOC_BITMAP_H_
+#define NGX_SRC_ALLOC_BITMAP_H_
+
+#include <bit>
+
+#include "src/sim/env.h"
+
+namespace ngx {
+
+class SimBitmap {
+ public:
+  // `base` points at ceil(bits/64) u64 words in simulated memory.
+  SimBitmap(Addr base, std::uint32_t bits) : base_(base), bits_(bits) {}
+
+  bool Test(Env& env, std::uint32_t i) const {
+    return (env.Load<std::uint64_t>(WordAddr(i)) >> (i % 64)) & 1u;
+  }
+
+  void Set(Env& env, std::uint32_t i) {
+    const Addr w = WordAddr(i);
+    env.Store<std::uint64_t>(w, env.Load<std::uint64_t>(w) | (1ull << (i % 64)));
+  }
+
+  void Clear(Env& env, std::uint32_t i) {
+    const Addr w = WordAddr(i);
+    env.Store<std::uint64_t>(w, env.Load<std::uint64_t>(w) & ~(1ull << (i % 64)));
+  }
+
+  // First clear bit, or bits() if none. Loads words until found.
+  std::uint32_t FindFirstClear(Env& env) const { return FindFirstClearFrom(env, 0); }
+
+  // Scan starting at word containing `start_bit` (search-hint support).
+  std::uint32_t FindFirstClearFrom(Env& env, std::uint32_t start_bit) const {
+    const std::uint32_t words = (bits_ + 63) / 64;
+    for (std::uint32_t w = start_bit / 64; w < words; ++w) {
+      const std::uint64_t v = env.Load<std::uint64_t>(base_ + 8ull * w);
+      if (v != ~0ull) {
+        const std::uint32_t bit = static_cast<std::uint32_t>(std::countr_one(v));
+        const std::uint32_t i = w * 64 + bit;
+        return i < bits_ ? i : bits_;
+      }
+    }
+    return bits_;
+  }
+
+  std::uint32_t bits() const { return bits_; }
+
+  static std::uint64_t FootprintBytes(std::uint32_t bits) { return ((bits + 63) / 64) * 8ull; }
+
+ private:
+  Addr WordAddr(std::uint32_t i) const { return base_ + 8ull * (i / 64); }
+
+  Addr base_;
+  std::uint32_t bits_;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_ALLOC_BITMAP_H_

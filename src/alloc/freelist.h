@@ -1,0 +1,91 @@
+// Free-list primitives, in both of the paper's Figure-2 metadata layouts.
+//
+// IntrusiveFreeList: the *aggregated* layout -- the next pointer occupies the
+// first 8 bytes of each free block, so walking the list touches the user-data
+// lines themselves (warming them, but also coupling metadata to data).
+//
+// IndexStack: the *segregated* layout -- block addresses (or indices) are
+// stored in a dense side array far from user data, so metadata traffic stays
+// in its own few cache lines.
+#ifndef NGX_SRC_ALLOC_FREELIST_H_
+#define NGX_SRC_ALLOC_FREELIST_H_
+
+#include "src/sim/env.h"
+
+namespace ngx {
+
+class IntrusiveFreeList {
+ public:
+  // `head_addr` is an 8-byte slot in simulated memory holding the head.
+  explicit IntrusiveFreeList(Addr head_addr) : head_addr_(head_addr) {}
+
+  void Push(Env& env, Addr block) {
+    const Addr head = env.Load<Addr>(head_addr_);
+    env.Store<Addr>(block, head);  // next pointer inside the block
+    env.Store<Addr>(head_addr_, block);
+  }
+
+  // Pops the head block, or kNullAddr if empty.
+  Addr Pop(Env& env) {
+    const Addr head = env.Load<Addr>(head_addr_);
+    if (head == kNullAddr) {
+      return kNullAddr;
+    }
+    const Addr next = env.Load<Addr>(head);  // touches the block itself
+    env.Store<Addr>(head_addr_, next);
+    return head;
+  }
+
+  Addr PeekHead(Env& env) const { return env.Load<Addr>(head_addr_); }
+
+  Addr head_addr() const { return head_addr_; }
+
+ private:
+  Addr head_addr_;
+};
+
+class IndexStack {
+ public:
+  // Layout at `base`: [count: u64][entries: u64 x capacity].
+  IndexStack(Addr base, std::uint32_t capacity) : base_(base), capacity_(capacity) {}
+
+  // Returns false if full.
+  bool Push(Env& env, std::uint64_t v) {
+    const std::uint64_t count = env.Load<std::uint64_t>(base_);
+    if (count >= capacity_) {
+      return false;
+    }
+    env.Store<std::uint64_t>(EntryAddr(count), v);
+    env.Store<std::uint64_t>(base_, count + 1);
+    return true;
+  }
+
+  // Returns false if empty.
+  bool Pop(Env& env, std::uint64_t* v) {
+    const std::uint64_t count = env.Load<std::uint64_t>(base_);
+    if (count == 0) {
+      return false;
+    }
+    *v = env.Load<std::uint64_t>(EntryAddr(count - 1));
+    env.Store<std::uint64_t>(base_, count - 1);
+    return true;
+  }
+
+  std::uint64_t Size(Env& env) const { return env.Load<std::uint64_t>(base_); }
+  std::uint32_t capacity() const { return capacity_; }
+
+  // Total bytes of simulated memory this stack occupies.
+  static std::uint64_t FootprintBytes(std::uint32_t capacity) {
+    return 8 + 8ull * capacity;
+  }
+
+ private:
+  Addr EntryAddr(std::uint64_t i) const { return base_ + 8 + 8 * i; }
+
+  Addr base_;
+  std::uint32_t capacity_;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_ALLOC_FREELIST_H_

@@ -1,0 +1,237 @@
+#include "src/alloc/jemalloc/je_allocator.h"
+
+#include <cassert>
+
+#include "src/alloc/bitmap.h"
+#include "src/alloc/freelist.h"
+#include "src/alloc/layout.h"
+
+namespace ngx {
+
+namespace {
+// Arena page layout: +0 lock, +8.. bin heads, then the hugepage slab cursor
+// and the recycled-chunk stack.
+constexpr std::uint64_t kArenaHpBump = 2048;
+constexpr std::uint64_t kArenaHpRemaining = 2056;
+constexpr std::uint64_t kArenaChunkStack = 2112;
+constexpr std::uint32_t kChunkStackCap = 200;
+}  // namespace
+
+JeAllocator::JeAllocator(Machine& machine, Addr base, const JeConfig& config)
+    : machine_(&machine),
+      config_(config),
+      classes_(config.small_max),
+      provider_(std::make_unique<PageProvider>(base, kHeapWindow, "je-heap")) {
+  // Startup (uncharged): one arena page per arena. Bin heads start at 0.
+  meta_base_ = provider_->MapAtStartup(machine, 4096ull * config_.num_arenas,
+                                       PageKind::kSmall4K, config_.chunk_bytes);
+  arena_locks_.reserve(config_.num_arenas);
+  for (std::uint32_t a = 0; a < config_.num_arenas; ++a) {
+    arena_locks_.emplace_back(ArenaBase(a));
+  }
+}
+
+void JeAllocator::PushNonFull(Env& env, std::uint32_t arena, std::uint32_t cls, Addr chunk) {
+  const Addr head_addr = BinHeadAddr(arena, cls);
+  const Addr head = env.Load<Addr>(head_addr);
+  env.Store<Addr>(chunk + 24, head);  // next
+  env.Store<Addr>(chunk + 32, 0);     // prev
+  if (head != kNullAddr) {
+    env.Store<Addr>(head + 32, chunk);
+  }
+  env.Store<Addr>(head_addr, chunk);
+}
+
+void JeAllocator::UnlinkNonFull(Env& env, std::uint32_t arena, std::uint32_t cls, Addr chunk) {
+  const Addr next = env.Load<Addr>(chunk + 24);
+  const Addr prev = env.Load<Addr>(chunk + 32);
+  if (prev != kNullAddr) {
+    env.Store<Addr>(prev + 24, next);
+  } else {
+    env.Store<Addr>(BinHeadAddr(arena, cls), next);
+  }
+  if (next != kNullAddr) {
+    env.Store<Addr>(next + 32, prev);
+  }
+}
+
+Addr JeAllocator::CarveChunk(Env& env, std::uint32_t arena) {
+  if (!config_.hugepage_backing) {
+    return provider_->Map(env, config_.chunk_bytes, PageKind::kSmall4K, config_.chunk_bytes);
+  }
+  // Recycled chunk first.
+  IndexStack stack(ArenaBase(arena) + kArenaChunkStack, kChunkStackCap);
+  std::uint64_t recycled = 0;
+  if (stack.Pop(env, &recycled)) {
+    return recycled;
+  }
+  // Then the arena's current hugepage slab.
+  const Addr bump_addr = ArenaBase(arena) + kArenaHpBump;
+  Addr bump = env.Load<Addr>(bump_addr);
+  std::uint64_t remaining = env.Load<std::uint64_t>(bump_addr + 8);
+  if (remaining < config_.chunk_bytes) {
+    bump = provider_->Map(env, kHugePageBytes, PageKind::kHuge2M, config_.chunk_bytes);
+    if (bump == kNullAddr) {
+      return kNullAddr;
+    }
+    remaining = kHugePageBytes;
+  }
+  env.Store<Addr>(bump_addr, bump + config_.chunk_bytes);
+  env.Store<std::uint64_t>(bump_addr + 8, remaining - config_.chunk_bytes);
+  return bump;
+}
+
+void JeAllocator::RecycleChunk(Env& env, std::uint32_t arena, Addr chunk) {
+  if (!config_.hugepage_backing) {
+    ++stats_.munmap_calls;
+    provider_->Unmap(env, chunk, config_.chunk_bytes);
+    return;
+  }
+  IndexStack stack(ArenaBase(arena) + kArenaChunkStack, kChunkStackCap);
+  if (!stack.Push(env, chunk)) {
+    // Stack full: the chunk is simply retained (THP regions are not returned
+    // piecemeal); it will never be found again, which models retention.
+    return;
+  }
+  // Scrub the header so a future carve starts clean.
+  env.machine().memory().Fill(chunk, 64 + SimBitmap::FootprintBytes(
+      static_cast<std::uint32_t>((config_.chunk_bytes - kHeaderBytes) / 16)), 0);
+}
+
+Addr JeAllocator::NewChunk(Env& env, std::uint32_t arena, std::uint32_t cls) {
+  const Addr chunk = CarveChunk(env, arena);
+  if (chunk == kNullAddr) {
+    return kNullAddr;
+  }
+  const std::uint64_t region_size = classes_.SizeOf(cls);
+  const std::uint32_t nregions =
+      static_cast<std::uint32_t>((config_.chunk_bytes - kHeaderBytes) / region_size);
+  env.Store<std::uint32_t>(chunk + 0, kKindSmall);
+  env.Store<std::uint32_t>(chunk + 4, arena);
+  env.Store<std::uint32_t>(chunk + 8, cls);
+  env.Store<std::uint32_t>(chunk + 12, static_cast<std::uint32_t>(region_size));
+  env.Store<std::uint32_t>(chunk + 16, nregions);
+  env.Store<std::uint32_t>(chunk + 20, nregions);  // nfree
+  env.Store<std::uint32_t>(chunk + 40, 0);         // search hint
+  PushNonFull(env, arena, cls, chunk);
+  return chunk;
+}
+
+Addr JeAllocator::Malloc(Env& env, std::uint64_t size) {
+  ++stats_.mallocs;
+  stats_.bytes_requested += size;
+  if (size > config_.small_max) {
+    return MallocLarge(env, size);
+  }
+  env.Work(12);  // class lookup, arena selection
+  const std::uint32_t cls = classes_.ClassOf(size);
+  const std::uint32_t arena = static_cast<std::uint32_t>(env.core_id()) % config_.num_arenas;
+  SimLockGuard guard(arena_locks_[arena], env);
+
+  Addr chunk = env.Load<Addr>(BinHeadAddr(arena, cls));
+  if (chunk == kNullAddr) {
+    chunk = NewChunk(env, arena, cls);
+    if (chunk == kNullAddr) {
+      ++stats_.oom_failures;
+      return kNullAddr;
+    }
+  }
+  const std::uint32_t nregions = env.Load<std::uint32_t>(chunk + 16);
+  SimBitmap bitmap(chunk + 64, nregions);
+  // jemalloc keeps a hierarchical bitmap; a per-chunk first-free hint models
+  // its O(1)-ish search without scanning the whole map.
+  const std::uint32_t hint = env.Load<std::uint32_t>(chunk + 40);
+  std::uint32_t idx = bitmap.FindFirstClearFrom(env, hint);
+  if (idx >= nregions) {
+    idx = bitmap.FindFirstClear(env);
+  }
+  assert(idx < nregions && "non-full chunk had no free region");
+  bitmap.Set(env, idx);
+  env.Store<std::uint32_t>(chunk + 40, idx + 1);
+  const std::uint32_t nfree = env.Load<std::uint32_t>(chunk + 20) - 1;
+  env.Store<std::uint32_t>(chunk + 20, nfree);
+  if (nfree == 0) {
+    UnlinkNonFull(env, arena, cls, chunk);
+  }
+  const std::uint64_t region_size = classes_.SizeOf(cls);
+  stats_.bytes_live += region_size;
+  return chunk + kHeaderBytes + static_cast<std::uint64_t>(idx) * region_size;
+}
+
+Addr JeAllocator::MallocLarge(Env& env, std::uint64_t size) {
+  const std::uint64_t total = AlignUp(size, kSmallPageBytes) + kHeaderBytes;
+  const Addr chunk = provider_->Map(env, total, PageKind::kSmall4K, config_.chunk_bytes);
+  if (chunk == kNullAddr) {
+    ++stats_.oom_failures;
+    return kNullAddr;
+  }
+  env.Store<std::uint32_t>(chunk + 0, kKindLarge);
+  env.Store<std::uint64_t>(chunk + 8, total);
+  stats_.bytes_live += total - kHeaderBytes;
+  return chunk + kHeaderBytes;
+}
+
+void JeAllocator::Free(Env& env, Addr addr) {
+  if (addr == kNullAddr) {
+    return;
+  }
+  ++stats_.frees;
+  env.Work(10);
+  const Addr chunk = AlignDown(addr, config_.chunk_bytes);
+  const std::uint32_t kind = env.Load<std::uint32_t>(chunk + 0);
+  if (kind == kKindLarge) {
+    const std::uint64_t total = env.Load<std::uint64_t>(chunk + 8);
+    stats_.bytes_live -= total - kHeaderBytes;
+    ++stats_.munmap_calls;
+    provider_->Unmap(env, chunk, total);
+    return;
+  }
+  const std::uint32_t arena = env.Load<std::uint32_t>(chunk + 4);
+  const std::uint32_t cls = env.Load<std::uint32_t>(chunk + 8);
+  const std::uint32_t region_size = env.Load<std::uint32_t>(chunk + 12);
+  SimLockGuard guard(arena_locks_[arena], env);
+
+  const std::uint32_t nregions = env.Load<std::uint32_t>(chunk + 16);
+  const std::uint32_t idx =
+      static_cast<std::uint32_t>((addr - chunk - kHeaderBytes) / region_size);
+  SimBitmap bitmap(chunk + 64, nregions);
+  assert(bitmap.Test(env, idx) && "double free detected by region bitmap");
+  bitmap.Clear(env, idx);
+  if (idx < env.Load<std::uint32_t>(chunk + 40)) {
+    env.Store<std::uint32_t>(chunk + 40, idx);
+  }
+  stats_.bytes_live -= region_size;
+  const std::uint32_t nfree = env.Load<std::uint32_t>(chunk + 20) + 1;
+  env.Store<std::uint32_t>(chunk + 20, nfree);
+  if (nfree == 1) {
+    PushNonFull(env, arena, cls, chunk);
+  } else if (nfree == nregions && config_.purge_empty_chunks) {
+    // Fully empty: return it to the OS unless it is the only non-full chunk
+    // of its class (keep one to avoid map/unmap thrash).
+    const Addr head = env.Load<Addr>(BinHeadAddr(arena, cls));
+    const Addr next = env.Load<Addr>(chunk + 24);
+    if (!(head == chunk && next == kNullAddr)) {
+      UnlinkNonFull(env, arena, cls, chunk);
+      RecycleChunk(env, arena, chunk);
+    }
+  }
+}
+
+std::uint64_t JeAllocator::UsableSize(Env& env, Addr addr) {
+  const Addr chunk = AlignDown(addr, config_.chunk_bytes);
+  const std::uint32_t kind = env.Load<std::uint32_t>(chunk + 0);
+  if (kind == kKindLarge) {
+    return env.Load<std::uint64_t>(chunk + 8) - kHeaderBytes;
+  }
+  return env.Load<std::uint32_t>(chunk + 12);
+}
+
+AllocatorStats JeAllocator::stats() const {
+  AllocatorStats s = stats_;
+  s.mapped_bytes = provider_->mapped_bytes();
+  s.mmap_calls = provider_->mmap_calls();
+  s.munmap_calls = provider_->munmap_calls();
+  return s;
+}
+
+}  // namespace ngx

@@ -1,0 +1,85 @@
+// JeAllocator: a jemalloc-style arena allocator.
+//
+// Structure:
+//  * N arenas; a thread uses arena (core_id mod N). Each arena has its own
+//    lock, so unrelated threads rarely contend -- but cross-thread frees
+//    must lock the owning arena (metadata line bouncing, Section 2.3).
+//  * Small allocations come from 256 KiB chunks dedicated to one size class.
+//    The chunk header page holds a region bitmap (metadata at the start of
+//    the chunk: decoupled from blocks but on the same pages -- the
+//    intermediate point between Figure 2's two layouts).
+//  * Empty chunks are returned to the OS (purging), bounding footprint.
+//  * Large allocations (> 8 KiB) are mmapped directly with a header page.
+#ifndef NGX_SRC_ALLOC_JEMALLOC_JE_ALLOCATOR_H_
+#define NGX_SRC_ALLOC_JEMALLOC_JE_ALLOCATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/alloc/allocator.h"
+#include "src/alloc/page_provider.h"
+#include "src/alloc/sim_lock.h"
+#include "src/alloc/size_classes.h"
+
+namespace ngx {
+
+struct JeConfig {
+  std::uint32_t num_arenas = 4;
+  std::uint64_t chunk_bytes = 64 * 1024;  // one run-like slab per size class
+  std::uint64_t small_max = 8192;
+  bool purge_empty_chunks = true;
+  // Chunks are carved out of 2 MiB hugepage-backed slabs per arena, modeling
+  // jemalloc under transparent hugepages (its chunks are themselves aligned
+  // allocations, which Linux THP backs with 2 MiB pages). Purged chunks are
+  // recycled through a per-arena stack instead of being unmapped.
+  bool hugepage_backing = true;
+};
+
+class JeAllocator : public Allocator {
+ public:
+  JeAllocator(Machine& machine, Addr base, const JeConfig& config = {});
+
+  std::string_view name() const override { return "jemalloc"; }
+  Addr Malloc(Env& env, std::uint64_t size) override;
+  void Free(Env& env, Addr addr) override;
+  std::uint64_t UsableSize(Env& env, Addr addr) override;
+  AllocatorStats stats() const override;
+
+ private:
+  // Chunk header layout (at chunk base):
+  //   +0  kind (u32: 0 = small chunk, 1 = large mapping), arena (u32)
+  //   +8  size class (u32), region size (u32)   [large: total size u64]
+  //   +16 nregions (u32), nfree (u32)
+  //   +24 next non-full chunk (Addr), +32 prev non-full chunk (Addr)
+  //   +64 region bitmap
+  // Regions begin at chunk + kHeaderBytes.
+  static constexpr std::uint64_t kHeaderBytes = 4096;
+  static constexpr std::uint32_t kKindSmall = 0;
+  static constexpr std::uint32_t kKindLarge = 1;
+
+  // Arena struct layout (per arena, one 4 KiB page):
+  //   +0 lock, +8.. per-class non-full chunk list heads (Addr each)
+  Addr ArenaBase(std::uint32_t arena) const { return meta_base_ + 4096ull * arena; }
+  Addr BinHeadAddr(std::uint32_t arena, std::uint32_t cls) const {
+    return ArenaBase(arena) + 8 + 8ull * cls;
+  }
+
+  Addr NewChunk(Env& env, std::uint32_t arena, std::uint32_t cls);
+  Addr CarveChunk(Env& env, std::uint32_t arena);
+  void RecycleChunk(Env& env, std::uint32_t arena, Addr chunk);
+  void PushNonFull(Env& env, std::uint32_t arena, std::uint32_t cls, Addr chunk);
+  void UnlinkNonFull(Env& env, std::uint32_t arena, std::uint32_t cls, Addr chunk);
+  Addr MallocLarge(Env& env, std::uint64_t size);
+
+  Machine* machine_;
+  JeConfig config_;
+  SizeClasses classes_;
+  std::unique_ptr<PageProvider> provider_;
+  Addr meta_base_;
+  std::vector<SimLock> arena_locks_;
+  AllocatorStats stats_;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_ALLOC_JEMALLOC_JE_ALLOCATOR_H_

@@ -1,0 +1,283 @@
+#include "src/alloc/mimalloc/mi_allocator.h"
+
+#include <cassert>
+
+#include "src/alloc/layout.h"
+
+namespace ngx {
+
+MiAllocator::MiAllocator(Machine& machine, Addr base, const MiConfig& config)
+    : machine_(&machine),
+      config_(config),
+      classes_(config.small_max),
+      provider_(std::make_unique<PageProvider>(base, kHeapWindow, "mi-heap")) {
+  // Startup (uncharged): one 4 KiB heap struct per core.
+  cur_seg_off_ = 8ull * classes_.num_classes();
+  tdf_off_ = AlignUp(cur_seg_off_ + 8, kCacheLineBytes);
+  heap_meta_base_ = provider_->MapAtStartup(
+      machine, 4096ull * machine.num_cores(), PageKind::kSmall4K, config_.segment_bytes);
+}
+
+Addr MiAllocator::AllocFromPage(Env& env, Addr meta) {
+  // 1. Pop the page-local free list (intrusive: touches the block itself).
+  Addr head = env.Load<Addr>(meta + 16);
+  if (head == kNullAddr) {
+    // 2. Collect local_free into free (mimalloc collects before extending).
+    const Addr local = env.Load<Addr>(meta + 24);
+    if (local != kNullAddr) {
+      env.Store<Addr>(meta + 16, local);
+      env.Store<Addr>(meta + 24, kNullAddr);
+      head = local;
+    } else {
+      // 3. Collect thread_free (cross-core frees) with an atomic swap.
+      const Addr tf = env.AtomicLoad(meta + 32);
+      if (tf != kNullAddr) {
+        const Addr chain = env.AtomicExchange(meta + 32, kNullAddr);
+        std::uint32_t n = 0;
+        for (Addr b = chain; b != kNullAddr; b = env.Load<Addr>(b)) {
+          ++n;
+        }
+        env.Store<std::uint32_t>(meta + 8, env.Load<std::uint32_t>(meta + 8) - n);
+        env.Store<Addr>(meta + 16, chain);
+        head = chain;
+      } else {
+        // 4. Bump-carve an untouched block.
+        const std::uint32_t bump = env.Load<std::uint32_t>(meta + 56);
+        const std::uint32_t capacity = env.Load<std::uint32_t>(meta + 4);
+        if (bump >= capacity) {
+          return kNullAddr;  // page genuinely full
+        }
+        env.Store<std::uint32_t>(meta + 56, bump + 1);
+        env.Store<std::uint32_t>(meta + 8, env.Load<std::uint32_t>(meta + 8) + 1);  // used++
+        const std::uint32_t bs = env.Load<std::uint32_t>(meta + 0);
+        return PageBaseOf(meta) + static_cast<std::uint64_t>(bump) * bs;
+      }
+    }
+  }
+  const Addr next = env.Load<Addr>(head);  // block's own line: the aggregated layout
+  env.Store<Addr>(meta + 16, next);
+  env.Store<std::uint32_t>(meta + 8, env.Load<std::uint32_t>(meta + 8) + 1);  // used++
+  return head;
+}
+
+void MiAllocator::MoveToHead(Env& env, int core, std::uint32_t cls, Addr meta) {
+  const Addr head_addr = ClassHeadAddr(core, cls);
+  const Addr head = env.Load<Addr>(head_addr);
+  if (head == meta) {
+    return;
+  }
+  const Addr prev = env.Load<Addr>(meta + 48);
+  const Addr next = env.Load<Addr>(meta + 40);
+  if (prev != kNullAddr) {
+    env.Store<Addr>(prev + 40, next);
+  }
+  if (next != kNullAddr) {
+    env.Store<Addr>(next + 48, prev);
+  }
+  env.Store<Addr>(meta + 40, head);
+  env.Store<Addr>(meta + 48, kNullAddr);
+  if (head != kNullAddr) {
+    env.Store<Addr>(head + 48, meta);
+  }
+  env.Store<Addr>(head_addr, meta);
+}
+
+bool MiAllocator::CollectDelayed(Env& env, int core) {
+  const Addr tdf = env.AtomicLoad(DelayedHeadAddr(core));
+  if (tdf == kNullAddr) {
+    return false;
+  }
+  Addr chain = env.AtomicExchange(DelayedHeadAddr(core), kNullAddr);
+  while (chain != kNullAddr) {
+    const Addr next = env.Load<Addr>(chain);
+    const Addr meta = MetaOf(chain);
+    // Un-full the page and give the block back to its free list.
+    const std::uint32_t flags = env.Load<std::uint32_t>(meta + 12);
+    if (flags & kFullFlag) {
+      env.Store<std::uint32_t>(meta + 12, flags & ~kFullFlag);
+    }
+    env.Store<Addr>(chain, env.Load<Addr>(meta + 16));
+    env.Store<Addr>(meta + 16, chain);
+    env.Store<std::uint32_t>(meta + 8, env.Load<std::uint32_t>(meta + 8) - 1);  // used--
+    MoveToHead(env, core, env.Load<std::uint32_t>(meta + 60), meta);
+    chain = next;
+  }
+  return true;
+}
+
+Addr MiAllocator::NewPage(Env& env, int core, std::uint32_t cls) {
+  Addr seg = env.Load<Addr>(CurSegAddr(core));
+  std::uint32_t page_idx = 0;
+  const std::uint32_t pages_per_seg =
+      static_cast<std::uint32_t>(config_.segment_bytes / config_.page_bytes);
+  if (seg != kNullAddr) {
+    page_idx = env.Load<std::uint32_t>(seg + 8);
+  }
+  if (seg == kNullAddr || page_idx >= pages_per_seg) {
+    seg = provider_->Map(env, config_.segment_bytes,
+                         config_.hugepage_backing ? PageKind::kHuge2M : PageKind::kSmall4K,
+                         config_.segment_bytes);
+    if (seg == kNullAddr) {
+      return kNullAddr;
+    }
+    ++stats_.mmap_calls;
+    env.Store<std::uint32_t>(seg + 0, static_cast<std::uint32_t>(core));
+    env.Store<std::uint32_t>(seg + 4, kKindSmall);
+    env.Store<std::uint32_t>(seg + 8, 1);  // page 0 is the header
+    env.Store<Addr>(CurSegAddr(core), seg);
+    page_idx = 1;
+  }
+  env.Store<std::uint32_t>(seg + 8, page_idx + 1);
+
+  const Addr meta = seg + 64ull * page_idx;
+  const std::uint32_t bs = static_cast<std::uint32_t>(classes_.SizeOf(cls));
+  env.Store<std::uint32_t>(meta + 0, bs);
+  env.Store<std::uint32_t>(meta + 4, static_cast<std::uint32_t>(config_.page_bytes / bs));
+  env.Store<std::uint64_t>(meta + 8, 0);    // used, flags
+  env.Store<Addr>(meta + 16, kNullAddr);    // free
+  env.Store<Addr>(meta + 24, kNullAddr);    // local_free
+  env.Store<Addr>(meta + 32, kNullAddr);    // thread_free
+  env.Store<std::uint32_t>(meta + 56, 0);   // bump_count
+  env.Store<std::uint32_t>(meta + 60, cls);
+  // Link at the head of the class list.
+  const Addr head_addr = ClassHeadAddr(core, cls);
+  const Addr head = env.Load<Addr>(head_addr);
+  env.Store<Addr>(meta + 40, head);
+  env.Store<Addr>(meta + 48, kNullAddr);
+  if (head != kNullAddr) {
+    env.Store<Addr>(head + 48, meta);
+  }
+  env.Store<Addr>(head_addr, meta);
+  return meta;
+}
+
+Addr MiAllocator::Malloc(Env& env, std::uint64_t size) {
+  ++stats_.mallocs;
+  stats_.bytes_requested += size;
+  if (size > config_.small_max) {
+    return MallocHuge(env, size);
+  }
+  env.Work(7);  // class lookup + heap pointer arithmetic
+  const std::uint32_t cls = classes_.ClassOf(size);
+  const int core = env.core_id();
+
+  // mimalloc's generic path harvests deferred cross-thread frees every so
+  // often even when fast allocation would succeed, bounding their latency.
+  if (++malloc_count_ % 256 == 0) {
+    CollectDelayed(env, core);
+  }
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    Addr meta = env.Load<Addr>(ClassHeadAddr(core, cls));
+    std::uint32_t steps = 0;
+    while (meta != kNullAddr && steps < config_.scan_cap) {
+      const Addr block = AllocFromPage(env, meta);
+      if (block != kNullAddr) {
+        if (steps > 0) {
+          MoveToHead(env, core, cls, meta);
+        }
+        stats_.bytes_live += classes_.SizeOf(cls);
+        return block;
+      }
+      // Page is full: flag it so cross-core frees use the delayed list.
+      const std::uint32_t flags = env.Load<std::uint32_t>(meta + 12);
+      env.Store<std::uint32_t>(meta + 12, flags | kFullFlag);
+      meta = env.Load<Addr>(meta + 40);
+      ++steps;
+    }
+    // Slow path: harvest cross-core frees parked on the heap, then retry.
+    if (attempt == 0 && CollectDelayed(env, core)) {
+      continue;
+    }
+    break;
+  }
+
+  const Addr meta = NewPage(env, core, cls);
+  if (meta == kNullAddr) {
+    ++stats_.oom_failures;
+    return kNullAddr;
+  }
+  const Addr block = AllocFromPage(env, meta);
+  assert(block != kNullAddr);
+  stats_.bytes_live += classes_.SizeOf(cls);
+  return block;
+}
+
+Addr MiAllocator::MallocHuge(Env& env, std::uint64_t size) {
+  const std::uint64_t total = AlignUp(size, kSmallPageBytes) + kSmallPageBytes;
+  const Addr seg = provider_->Map(env, total, PageKind::kSmall4K, config_.segment_bytes);
+  if (seg == kNullAddr) {
+    ++stats_.oom_failures;
+    return kNullAddr;
+  }
+  ++stats_.mmap_calls;
+  env.Store<std::uint32_t>(seg + 0, static_cast<std::uint32_t>(env.core_id()));
+  env.Store<std::uint32_t>(seg + 4, kKindHuge);
+  env.Store<std::uint64_t>(seg + 8, total);
+  stats_.bytes_live += total - kSmallPageBytes;
+  return seg + kSmallPageBytes;
+}
+
+void MiAllocator::Free(Env& env, Addr addr) {
+  if (addr == kNullAddr) {
+    return;
+  }
+  ++stats_.frees;
+  env.Work(6);
+  const Addr seg = AlignDown(addr, config_.segment_bytes);
+  const std::uint32_t kind = env.Load<std::uint32_t>(seg + 4);
+  if (kind == kKindHuge) {
+    const std::uint64_t total = env.Load<std::uint64_t>(seg + 8);
+    stats_.bytes_live -= total - kSmallPageBytes;
+    ++stats_.munmap_calls;
+    provider_->Unmap(env, seg, total);
+    return;
+  }
+  const Addr meta = MetaOf(addr);
+  const std::uint32_t owner = env.Load<std::uint32_t>(seg + 0);
+  stats_.bytes_live -= env.Load<std::uint32_t>(meta + 0);
+
+  if (static_cast<int>(owner) == env.core_id()) {
+    // Local free: plain stores onto local_free.
+    env.Store<Addr>(addr, env.Load<Addr>(meta + 24));
+    env.Store<Addr>(meta + 24, addr);
+    const std::uint32_t used = env.Load<std::uint32_t>(meta + 8);
+    env.Store<std::uint32_t>(meta + 8, used - 1);
+    const std::uint32_t flags = env.Load<std::uint32_t>(meta + 12);
+    if (flags & kFullFlag) {
+      env.Store<std::uint32_t>(meta + 12, flags & ~kFullFlag);
+      MoveToHead(env, env.core_id(), env.Load<std::uint32_t>(meta + 60), meta);
+    }
+    return;
+  }
+  // Cross-core free: XCHG-push onto the page's thread_free, or onto the
+  // owner heap's thread-delayed list when the page is flagged full.
+  const std::uint32_t flags = env.Load<std::uint32_t>(meta + 12);
+  if (flags & kFullFlag) {
+    const Addr old = env.AtomicExchange(DelayedHeadAddr(static_cast<int>(owner)), addr);
+    env.Store<Addr>(addr, old);
+  } else {
+    const Addr old = env.AtomicExchange(meta + 32, addr);
+    env.Store<Addr>(addr, old);
+  }
+}
+
+std::uint64_t MiAllocator::UsableSize(Env& env, Addr addr) {
+  const Addr seg = AlignDown(addr, config_.segment_bytes);
+  if (env.Load<std::uint32_t>(seg + 4) == kKindHuge) {
+    return env.Load<std::uint64_t>(seg + 8) - kSmallPageBytes;
+  }
+  return env.Load<std::uint32_t>(MetaOf(addr) + 0);
+}
+
+void MiAllocator::Flush(Env& env) { CollectDelayed(env, env.core_id()); }
+
+AllocatorStats MiAllocator::stats() const {
+  AllocatorStats s = stats_;
+  s.mapped_bytes = provider_->mapped_bytes();
+  s.mmap_calls = provider_->mmap_calls();
+  s.munmap_calls = provider_->munmap_calls();
+  return s;
+}
+
+}  // namespace ngx

@@ -1,0 +1,93 @@
+// MiAllocator: a Mimalloc-style allocator (free-list sharding).
+//
+// Structure (the paper's Figure-2 "aggregated layout" exemplar):
+//  * Per-core heaps own 4 MiB segments split into 64 KiB pages; each page
+//    serves one size class and keeps THREE free lists (free / local_free /
+//    thread_free), exactly mimalloc's sharding.
+//  * Free-list next pointers live in the first 8 bytes of each free block --
+//    the aggregated layout: malloc's pop warms the block's own line for the
+//    user, but allocator and user traffic share lines and pages.
+//  * Same-core frees push to local_free with plain stores; cross-core frees
+//    XCHG-push onto the page's thread_free (or, if the page is full, onto
+//    the owning heap's thread-delayed list), bouncing that line between
+//    cores -- the mechanism behind Table 2's LLC-miss blow-up.
+#ifndef NGX_SRC_ALLOC_MIMALLOC_MI_ALLOCATOR_H_
+#define NGX_SRC_ALLOC_MIMALLOC_MI_ALLOCATOR_H_
+
+#include <memory>
+
+#include "src/alloc/allocator.h"
+#include "src/alloc/page_provider.h"
+#include "src/alloc/size_classes.h"
+
+namespace ngx {
+
+struct MiConfig {
+  std::uint64_t segment_bytes = 4 * 1024 * 1024;
+  std::uint64_t page_bytes = 64 * 1024;
+  std::uint64_t small_max = 16 * 1024;
+  std::uint32_t scan_cap = 32;  // pages examined per malloc before a new page
+  // 4 MiB-aligned segments are THP-backed on Linux; model them with 2 MiB
+  // pages.
+  bool hugepage_backing = true;
+};
+
+class MiAllocator : public Allocator {
+ public:
+  MiAllocator(Machine& machine, Addr base, const MiConfig& config = {});
+
+  std::string_view name() const override { return "mimalloc"; }
+  Addr Malloc(Env& env, std::uint64_t size) override;
+  void Free(Env& env, Addr addr) override;
+  std::uint64_t UsableSize(Env& env, Addr addr) override;
+  void Flush(Env& env) override;
+  AllocatorStats stats() const override;
+
+ private:
+  // Segment header (at segment base):
+  //   +0 owner core (u32), kind (u32: 0 = small pages, 1 = huge object)
+  //   +8 next page index to carve (u32)   [huge: total bytes u64]
+  // Page metadata: one 64-byte line per page at segment + 64*index:
+  //   +0 block_size (u32), capacity (u32)
+  //   +8 used (u32), flags (u32, bit0 = kFullFlag)
+  //   +16 free head, +24 local_free head, +32 thread_free head (atomic)
+  //   +40 next page, +48 prev page (class list links)
+  //   +56 bump_count (u32), size class (u32)
+  static constexpr std::uint32_t kKindSmall = 0;
+  static constexpr std::uint32_t kKindHuge = 1;
+  static constexpr std::uint32_t kFullFlag = 1;
+
+  Addr HeapBase(int core) const { return heap_meta_base_ + 4096ull * core; }
+  Addr ClassHeadAddr(int core, std::uint32_t cls) const { return HeapBase(core) + 8ull * cls; }
+  Addr CurSegAddr(int core) const { return HeapBase(core) + cur_seg_off_; }
+  Addr DelayedHeadAddr(int core) const { return HeapBase(core) + tdf_off_; }
+
+  Addr PageBaseOf(Addr meta) const {
+    const Addr seg = AlignDown(meta, config_.segment_bytes);
+    return seg + ((meta - seg) / 64) * config_.page_bytes;
+  }
+  Addr MetaOf(Addr block) const {
+    const Addr seg = AlignDown(block, config_.segment_bytes);
+    return seg + 64 * ((block - seg) / config_.page_bytes);
+  }
+
+  Addr AllocFromPage(Env& env, Addr meta);
+  void MoveToHead(Env& env, int core, std::uint32_t cls, Addr meta);
+  bool CollectDelayed(Env& env, int core);
+  Addr NewPage(Env& env, int core, std::uint32_t cls);
+  Addr MallocHuge(Env& env, std::uint64_t size);
+
+  Machine* machine_;
+  MiConfig config_;
+  SizeClasses classes_;
+  std::unique_ptr<PageProvider> provider_;
+  Addr heap_meta_base_;
+  std::uint64_t cur_seg_off_;
+  std::uint64_t tdf_off_;
+  std::uint64_t malloc_count_ = 0;
+  AllocatorStats stats_;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_ALLOC_MIMALLOC_MI_ALLOCATOR_H_

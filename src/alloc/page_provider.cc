@@ -1,0 +1,56 @@
+#include "src/alloc/page_provider.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ngx {
+
+PageProvider::PageProvider(Addr base, std::uint64_t window, std::string tag)
+    : base_(base), next_(base), end_(base + window), tag_(std::move(tag)) {
+  assert(base % kHugePageBytes == 0);
+}
+
+Addr PageProvider::Map(Env& env, std::uint64_t bytes, PageKind kind, std::uint64_t alignment) {
+  const std::uint64_t page = PageBytes(kind);
+  const std::uint64_t align = std::max<std::uint64_t>(page, alignment);
+  bytes = AlignUp(bytes, page);
+  const Addr addr = AlignUp(next_, align);
+  if (addr + bytes > end_) {
+    return kNullAddr;
+  }
+  next_ = addr + bytes;
+  env.machine().address_map().Add(Region{addr, bytes, kind, tag_});
+  env.ChargeSyscall();
+  mapped_bytes_ += bytes;
+  ++mmap_calls_;
+  return addr;
+}
+
+Addr PageProvider::MapAtStartup(Machine& machine, std::uint64_t bytes, PageKind kind,
+                                std::uint64_t alignment) {
+  const std::uint64_t page = PageBytes(kind);
+  const std::uint64_t align = std::max<std::uint64_t>(page, alignment);
+  bytes = AlignUp(bytes, page);
+  const Addr addr = AlignUp(next_, align);
+  if (addr + bytes > end_) {
+    return kNullAddr;
+  }
+  next_ = addr + bytes;
+  machine.address_map().Add(Region{addr, bytes, kind, tag_});
+  mapped_bytes_ += bytes;
+  ++mmap_calls_;
+  return addr;
+}
+
+void PageProvider::Unmap(Env& env, Addr addr, std::uint64_t bytes) {
+  const Region* r = env.machine().address_map().Find(addr);
+  assert(r != nullptr && r->base == addr && "Unmap of a range that was not mapped");
+  const std::uint64_t aligned = AlignUp(bytes, PageBytes(r->kind));
+  env.machine().address_map().Remove(addr);
+  env.machine().memory().Discard(addr, aligned);
+  env.ChargeSyscall();
+  mapped_bytes_ -= aligned;
+  ++munmap_calls_;
+}
+
+}  // namespace ngx

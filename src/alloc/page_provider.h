@@ -1,0 +1,53 @@
+// Simulated kernel memory interface (mmap/munmap).
+//
+// Virtual ranges are carved by a bump pointer inside the window given at
+// construction; each Map registers a Region in the machine's AddressMap with
+// the requested page kind (4 KiB or 2 MiB), which is what the TLB model
+// consults. Map/Unmap charge a mode-switch syscall cost -- the overhead UMAs
+// exist to amortize (Section 2.1).
+#ifndef NGX_SRC_ALLOC_PAGE_PROVIDER_H_
+#define NGX_SRC_ALLOC_PAGE_PROVIDER_H_
+
+#include <string>
+
+#include "src/sim/env.h"
+
+namespace ngx {
+
+class PageProvider {
+ public:
+  PageProvider(Addr base, std::uint64_t window, std::string tag);
+
+  // Maps `bytes` (rounded up to the page size of `kind`) and returns the
+  // base address, or kNullAddr if the window is exhausted. `alignment`
+  // (power of two, 0 = page size) aligns the returned base, e.g. for
+  // chunk/segment allocators that locate metadata by masking block addresses.
+  Addr Map(Env& env, std::uint64_t bytes, PageKind kind, std::uint64_t alignment = 0);
+
+  // Unmaps a range previously returned by Map (whole mapping only).
+  void Unmap(Env& env, Addr addr, std::uint64_t bytes);
+
+  // Startup-time mapping (allocator construction happens before measurement
+  // starts): registers the region but charges no time to any core.
+  Addr MapAtStartup(Machine& machine, std::uint64_t bytes, PageKind kind,
+                    std::uint64_t alignment = 0);
+
+  std::uint64_t mapped_bytes() const { return mapped_bytes_; }
+  std::uint64_t mmap_calls() const { return mmap_calls_; }
+  std::uint64_t munmap_calls() const { return munmap_calls_; }
+  Addr base() const { return base_; }
+  Addr next() const { return next_; }
+
+ private:
+  Addr base_;
+  Addr next_;
+  Addr end_;
+  std::string tag_;
+  std::uint64_t mapped_bytes_ = 0;
+  std::uint64_t mmap_calls_ = 0;
+  std::uint64_t munmap_calls_ = 0;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_ALLOC_PAGE_PROVIDER_H_

@@ -1,0 +1,355 @@
+#include "src/alloc/ptmalloc/pt_allocator.h"
+
+#include <cassert>
+
+#include "src/alloc/layout.h"
+
+namespace ngx {
+
+namespace {
+// Fenceposts terminate every mapped region; their size (16) is below
+// kMinChunk, which uniquely identifies them.
+constexpr std::uint64_t kFencepostSize = 16;
+}  // namespace
+
+PtAllocator::PtAllocator(Machine& machine, Addr base, const PtConfig& config)
+    : machine_(&machine),
+      config_(config),
+      provider_(std::make_unique<PageProvider>(base, kHeapWindow, "pt-heap")),
+      meta_base_(0),
+      bins_base_(0),
+      lock_(0) {
+  // Startup (uncharged): arena page + initial wilderness region.
+  meta_base_ = provider_->MapAtStartup(machine, kSmallPageBytes, PageKind::kSmall4K);
+  bins_base_ = meta_base_ + 64;
+  lock_ = SimLock(meta_base_);
+  SimMemory& mem = machine.memory();
+  for (std::uint32_t bin = 0; bin < kNumSmallBins + kNumLargeBins; ++bin) {
+    const Addr b = BinSentinel(bin);
+    mem.Write<Addr>(b + 16, b);  // fd = self
+    mem.Write<Addr>(b + 24, b);  // bk = self
+  }
+  const std::uint64_t initial = config_.grow_bytes;
+  const Addr region = provider_->MapAtStartup(machine, initial, PageKind::kSmall4K);
+  mem.Write<Addr>(meta_base_ + 8, region);                       // top_base
+  mem.Write<std::uint64_t>(meta_base_ + 16, initial - 16);       // top_size
+  mem.Write<std::uint64_t>(region + 8, (initial - 16) | kPrevInuse);  // top header
+  mem.Write<std::uint64_t>(region + initial - 16 + 8, kFencepostSize | kPrevInuse);
+}
+
+void PtAllocator::SetPrevInuse(Env& env, Addr p, bool inuse) {
+  std::uint64_t w = env.Load<std::uint64_t>(p + 8);
+  w = inuse ? (w | kPrevInuse) : (w & ~kPrevInuse);
+  env.Store<std::uint64_t>(p + 8, w);
+}
+
+std::uint32_t PtAllocator::BinIndex(std::uint64_t chunk_size) const {
+  if (chunk_size <= kMaxSmallChunk) {
+    return static_cast<std::uint32_t>(chunk_size / 16 - 2);
+  }
+  std::uint32_t j = 0;
+  std::uint64_t s = chunk_size / 1024;
+  while (s > 1 && j + 1 < kNumLargeBins) {
+    s >>= 1;
+    ++j;
+  }
+  return kNumSmallBins + j;
+}
+
+void PtAllocator::BinInsert(Env& env, std::uint32_t bin, Addr p) {
+  const Addr s = BinSentinel(bin);
+  const Addr f = Fd(env, s);
+  SetFd(env, s, p);
+  SetBk(env, p, s);
+  SetFd(env, p, f);
+  SetBk(env, f, p);
+}
+
+void PtAllocator::Unlink(Env& env, Addr p) {
+  const Addr f = Fd(env, p);
+  const Addr b = Bk(env, p);
+  SetFd(env, b, f);
+  SetBk(env, f, b);
+}
+
+bool PtAllocator::BinEmpty(Env& env, std::uint32_t bin) {
+  const Addr s = BinSentinel(bin);
+  return Fd(env, s) == s;
+}
+
+void PtAllocator::SetTop(Env& env, Addr base, std::uint64_t size) {
+  env.Store<Addr>(meta_base_ + 8, base);
+  env.Store<std::uint64_t>(meta_base_ + 16, size);
+}
+
+Addr PtAllocator::Malloc(Env& env, std::uint64_t size) {
+  ++stats_.mallocs;
+  stats_.bytes_requested += size;
+  if (size > config_.mmap_threshold) {
+    return MmapLarge(env, size);
+  }
+  SimLockGuard guard(lock_, env);
+  env.Work(10);  // request normalization, bin arithmetic
+
+  std::uint64_t csize = AlignUp(size + 8, 16);
+  if (csize < kMinChunk) {
+    csize = kMinChunk;
+  }
+
+  if (config_.use_fastbins && csize <= config_.fastbin_max) {
+    const std::uint32_t idx = FastbinIndex(csize);
+    const Addr head = env.Load<Addr>(FastbinHeadAddr(idx));
+    if (head != kNullAddr) {
+      env.Store<Addr>(FastbinHeadAddr(idx), env.Load<Addr>(head + 16));
+      --fastbin_pending_;
+      last_carve_ = csize;
+      stats_.bytes_live += csize - 8;
+      return head + 16;
+    }
+  } else if (config_.use_fastbins && csize > kMaxSmallChunk && fastbin_pending_ > 0) {
+    // glibc consolidates fastbins before serving large requests.
+    Consolidate(env);
+  }
+
+  if (csize <= kMaxSmallChunk) {
+    const std::uint32_t bin = BinIndex(csize);
+    // Exact bin first, then every larger small bin (glibc walks the binmap;
+    // the sentinels are packed so this stays within a few metadata lines).
+    for (std::uint32_t b = bin; b < kNumSmallBins; ++b) {
+      if (!BinEmpty(env, b)) {
+        const Addr r = TakeFromBin(env, b, csize);
+        stats_.bytes_live += last_carve_ - 8;
+        return r;
+      }
+    }
+  }
+
+  // Large bins: first fit, scanning upward.
+  const std::uint32_t first_large =
+      csize <= kMaxSmallChunk ? kNumSmallBins : BinIndex(csize);
+  for (std::uint32_t b = first_large; b < kNumSmallBins + kNumLargeBins; ++b) {
+    const Addr s = BinSentinel(b);
+    Addr cur = Fd(env, s);
+    for (std::uint32_t i = 0; cur != s && i < config_.large_scan_cap; ++i) {
+      const std::uint64_t cs = ChunkSize(env, cur);
+      if (cs >= csize) {
+        Unlink(env, cur);
+        const Addr r = FinishVictim(env, cur, cs, csize);
+        stats_.bytes_live += last_carve_ - 8;
+        return r;
+      }
+      cur = Fd(env, cur);
+    }
+  }
+
+  const Addr r = AllocFromTop(env, csize);
+  if (r == kNullAddr) {
+    ++stats_.oom_failures;
+    return kNullAddr;
+  }
+  stats_.bytes_live += last_carve_ - 8;
+  return r;
+}
+
+Addr PtAllocator::TakeFromBin(Env& env, std::uint32_t bin, std::uint64_t chunk_size) {
+  const Addr s = BinSentinel(bin);
+  const Addr victim = Fd(env, s);
+  assert(victim != s);
+  Unlink(env, victim);
+  return FinishVictim(env, victim, ChunkSize(env, victim), chunk_size);
+}
+
+Addr PtAllocator::FinishVictim(Env& env, Addr victim, std::uint64_t victim_size,
+                               std::uint64_t chunk_size) {
+  assert(victim_size >= chunk_size);
+  const std::uint64_t pflag = HeaderWord(env, victim) & kPrevInuse;
+  last_carve_ = chunk_size;
+  if (victim_size - chunk_size >= kMinChunk) {
+    // Split: the tail remains free.
+    const Addr rem = victim + chunk_size;
+    const std::uint64_t rem_size = victim_size - chunk_size;
+    WriteHeader(env, victim, chunk_size, pflag);
+    WriteHeader(env, rem, rem_size, kPrevInuse);
+    SetFooter(env, rem, rem_size);
+    BinInsert(env, BinIndex(rem_size), rem);
+  } else {
+    // Use the whole chunk: mark in-use via the next chunk's prev-inuse bit.
+    last_carve_ = victim_size;
+    SetPrevInuse(env, victim + victim_size, true);
+  }
+  return victim + 16;
+}
+
+bool PtAllocator::GrowTop(Env& env, std::uint64_t need) {
+  const std::uint64_t grow = std::max(config_.grow_bytes, AlignUp(need + 64, kSmallPageBytes));
+  const Addr top_base = TopBase(env);
+  const std::uint64_t top_size = TopSize(env);
+  const Addr old_end = top_base + top_size + 16;  // current region end (incl. fencepost)
+  const Addr region = provider_->Map(env, grow, PageKind::kSmall4K);
+  if (region == kNullAddr) {
+    return false;
+  }
+  ++stats_.mmap_calls;
+  if (region == old_end) {
+    // Contiguous: absorb the old fencepost and the new memory.
+    const std::uint64_t new_size = top_size + grow;
+    SetTop(env, top_base, new_size);
+    const std::uint64_t pflag = HeaderWord(env, top_base) & kPrevInuse;
+    WriteHeader(env, top_base, new_size, pflag);
+    env.Store<std::uint64_t>(top_base + new_size + 8, kFencepostSize | kPrevInuse);
+    return true;
+  }
+  // Discontiguous: retire the old top as a free chunk, start a new region.
+  if (top_size >= kMinChunk) {
+    const std::uint64_t pflag = HeaderWord(env, top_base) & kPrevInuse;
+    WriteHeader(env, top_base, top_size, pflag);
+    SetFooter(env, top_base, top_size);
+    SetPrevInuse(env, top_base + top_size, false);  // old fencepost: prev now free
+    BinInsert(env, BinIndex(top_size), top_base);
+  } else {
+    SetPrevInuse(env, top_base + top_size, true);
+  }
+  SetTop(env, region, grow - 16);
+  WriteHeader(env, region, grow - 16, kPrevInuse);
+  env.Store<std::uint64_t>(region + grow - 16 + 8, kFencepostSize | kPrevInuse);
+  return true;
+}
+
+Addr PtAllocator::AllocFromTop(Env& env, std::uint64_t chunk_size) {
+  if (TopSize(env) < chunk_size + kMinChunk) {
+    if (!GrowTop(env, chunk_size + kMinChunk)) {
+      return kNullAddr;
+    }
+  }
+  const Addr top_base = TopBase(env);
+  const std::uint64_t top_size = TopSize(env);
+  const std::uint64_t pflag = HeaderWord(env, top_base) & kPrevInuse;
+  last_carve_ = chunk_size;
+  WriteHeader(env, top_base, chunk_size, pflag);
+  const Addr new_top = top_base + chunk_size;
+  SetTop(env, new_top, top_size - chunk_size);
+  WriteHeader(env, new_top, top_size - chunk_size, kPrevInuse);
+  return top_base + 16;
+}
+
+Addr PtAllocator::MmapLarge(Env& env, std::uint64_t size) {
+  const std::uint64_t region_len = AlignUp(size + 16, kSmallPageBytes);
+  const Addr region = provider_->Map(env, region_len, PageKind::kSmall4K);
+  if (region == kNullAddr) {
+    ++stats_.oom_failures;
+    return kNullAddr;
+  }
+  ++stats_.mmap_calls;
+  WriteHeader(env, region, region_len, kMmapped | kPrevInuse);
+  stats_.bytes_live += region_len - 16;
+  return region + 16;
+}
+
+void PtAllocator::Free(Env& env, Addr addr) {
+  if (addr == kNullAddr) {
+    return;
+  }
+  ++stats_.frees;
+  Addr p = addr - 16;
+  const std::uint64_t hdr = env.Load<std::uint64_t>(p + 8);
+  std::uint64_t size = hdr & ~kFlagMask;
+  if (hdr & kMmapped) {
+    stats_.bytes_live -= size - 16;
+    ++stats_.munmap_calls;
+    provider_->Unmap(env, p, size);
+    return;
+  }
+  stats_.bytes_live -= size - 8;
+
+  SimLockGuard guard(lock_, env);
+  env.Work(8);
+
+  if (config_.use_fastbins && size <= config_.fastbin_max) {
+    // Fastbin push: no coalescing, no boundary-tag updates -- the chunk
+    // still looks "in use" to its neighbors.
+    const std::uint32_t idx = FastbinIndex(size);
+    const Addr head = env.Load<Addr>(FastbinHeadAddr(idx));
+    env.Store<Addr>(p + 16, head);  // fd inside the (cold) chunk
+    env.Store<Addr>(FastbinHeadAddr(idx), p);
+    if (++fastbin_pending_ >= config_.consolidate_threshold) {
+      Consolidate(env);
+    }
+    return;
+  }
+  FreeChunkIntoBins(env, p, hdr);
+}
+
+void PtAllocator::FreeChunkIntoBins(Env& env, Addr p, std::uint64_t hdr) {
+  std::uint64_t size = hdr & ~kFlagMask;
+  std::uint64_t pflag = hdr & kPrevInuse;
+
+  // Coalesce backward.
+  if (pflag == 0) {
+    const std::uint64_t prev_size = env.Load<std::uint64_t>(p);
+    const Addr q = p - prev_size;
+    pflag = HeaderWord(env, q) & kPrevInuse;
+    Unlink(env, q);
+    size += prev_size;
+    p = q;
+  }
+
+  Addr n = p + size;
+  if (n == TopBase(env)) {
+    // Merge into the wilderness.
+    const std::uint64_t new_top = size + TopSize(env);
+    SetTop(env, p, new_top);
+    WriteHeader(env, p, new_top, pflag);
+    return;
+  }
+
+  // Coalesce forward.
+  const std::uint64_t nsize = ChunkSize(env, n);
+  bool n_inuse = true;
+  if (nsize != kFencepostSize) {
+    n_inuse = (HeaderWord(env, n + nsize) & kPrevInuse) != 0;
+  }
+  if (!n_inuse) {
+    Unlink(env, n);
+    size += nsize;
+  }
+
+  WriteHeader(env, p, size, pflag);
+  SetFooter(env, p, size);
+  SetPrevInuse(env, p + size, false);
+  BinInsert(env, BinIndex(size), p);
+}
+
+void PtAllocator::Consolidate(Env& env) {
+  ++consolidations_;
+  const std::uint32_t nfast =
+      config_.fastbin_max >= kMinChunk
+          ? FastbinIndex(config_.fastbin_max) + 1
+          : 0;
+  for (std::uint32_t idx = 0; idx < nfast; ++idx) {
+    Addr p = env.Load<Addr>(FastbinHeadAddr(idx));
+    env.Store<Addr>(FastbinHeadAddr(idx), kNullAddr);
+    while (p != kNullAddr) {
+      const Addr next = env.Load<Addr>(p + 16);  // fd, in the cold chunk
+      const std::uint64_t hdr = env.Load<std::uint64_t>(p + 8);
+      FreeChunkIntoBins(env, p, hdr);
+      p = next;
+    }
+  }
+  fastbin_pending_ = 0;
+}
+
+std::uint64_t PtAllocator::UsableSize(Env& env, Addr addr) {
+  const std::uint64_t hdr = env.Load<std::uint64_t>(addr - 16 + 8);
+  const std::uint64_t size = hdr & ~kFlagMask;
+  return (hdr & kMmapped) ? size - 16 : size - 8;
+}
+
+AllocatorStats PtAllocator::stats() const {
+  AllocatorStats s = stats_;
+  s.mapped_bytes = provider_->mapped_bytes();
+  s.mmap_calls = provider_->mmap_calls();
+  s.munmap_calls = provider_->munmap_calls();
+  return s;
+}
+
+}  // namespace ngx

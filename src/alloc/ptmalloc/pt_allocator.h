@@ -1,0 +1,118 @@
+// PtAllocator: a PTMalloc2/dlmalloc-style allocator.
+//
+// Structure (the properties Table 1 attributes the glibc numbers to):
+//  * Aggregated metadata: boundary-tag headers and fd/bk links live inline
+//    with user data, so allocator traffic and user traffic share lines.
+//  * One global arena lock around every operation.
+//  * Exact-spaced small bins + log-spaced large bins, boundary-tag
+//    coalescing on free (touching both neighbor chunks' headers).
+//  * A top (wilderness) chunk grown with simulated mmap; large requests are
+//    mmapped directly.
+//
+// Chunk layout follows dlmalloc: for a chunk at p, the size/flags word is at
+// p+8, user memory at p+16, and p+0 holds the *previous* chunk's size iff the
+// previous chunk is free (footer overlap). Flag bit0 = prev-in-use,
+// bit1 = mmapped.
+#ifndef NGX_SRC_ALLOC_PTMALLOC_PT_ALLOCATOR_H_
+#define NGX_SRC_ALLOC_PTMALLOC_PT_ALLOCATOR_H_
+
+#include <memory>
+
+#include "src/alloc/allocator.h"
+#include "src/alloc/page_provider.h"
+#include "src/alloc/sim_lock.h"
+
+namespace ngx {
+
+struct PtConfig {
+  std::uint64_t mmap_threshold = 128 * 1024;  // direct-mmap above this
+  std::uint64_t grow_bytes = 1024 * 1024;     // top-chunk extension unit
+  std::uint32_t large_scan_cap = 32;          // first-fit scan bound per large bin
+  // glibc fastbins: frees of chunks <= fastbin_max skip coalescing and park
+  // in LIFO singly-linked bins; malloc_consolidate() later walks and merges
+  // them all -- a burst of cold-line traffic that is one of PTMalloc2's main
+  // cache polluters.
+  bool use_fastbins = true;
+  std::uint64_t fastbin_max = 128;            // chunk size
+  std::uint32_t consolidate_threshold = 8192;  // pending fastbin chunks
+};
+
+class PtAllocator : public Allocator {
+ public:
+  PtAllocator(Machine& machine, Addr base, const PtConfig& config = {});
+
+  std::string_view name() const override { return "ptmalloc2"; }
+  Addr Malloc(Env& env, std::uint64_t size) override;
+  void Free(Env& env, Addr addr) override;
+  std::uint64_t UsableSize(Env& env, Addr addr) override;
+  AllocatorStats stats() const override;
+  std::uint64_t consolidations() const { return consolidations_; }
+
+ private:
+  static constexpr std::uint64_t kMinChunk = 32;
+  static constexpr std::uint64_t kMaxSmallChunk = 1008;
+  static constexpr std::uint32_t kNumSmallBins = 62;  // sizes 32..1008 step 16
+  static constexpr std::uint32_t kNumLargeBins = 12;  // log-spaced from 1024
+  static constexpr std::uint64_t kPrevInuse = 1;
+  static constexpr std::uint64_t kMmapped = 2;
+  static constexpr std::uint64_t kFlagMask = kPrevInuse | kMmapped;
+
+  // ---- chunk field helpers (every call is a timed simulated access) ----
+  std::uint64_t HeaderWord(Env& env, Addr p) const { return env.Load<std::uint64_t>(p + 8); }
+  std::uint64_t ChunkSize(Env& env, Addr p) const { return HeaderWord(env, p) & ~kFlagMask; }
+  void WriteHeader(Env& env, Addr p, std::uint64_t size, std::uint64_t flags) {
+    env.Store<std::uint64_t>(p + 8, size | flags);
+  }
+  void SetFooter(Env& env, Addr p, std::uint64_t size) {
+    env.Store<std::uint64_t>(p + size, size);  // next chunk's prev_size slot
+  }
+  void SetPrevInuse(Env& env, Addr p, bool inuse);
+
+  Addr Fd(Env& env, Addr p) const { return env.Load<Addr>(p + 16); }
+  Addr Bk(Env& env, Addr p) const { return env.Load<Addr>(p + 24); }
+  void SetFd(Env& env, Addr p, Addr v) { env.Store<Addr>(p + 16, v); }
+  void SetBk(Env& env, Addr p, Addr v) { env.Store<Addr>(p + 24, v); }
+
+  // ---- bins (circular doubly-linked lists through sentinel pseudo-chunks) ----
+  std::uint32_t BinIndex(std::uint64_t chunk_size) const;
+  Addr BinSentinel(std::uint32_t bin) const { return bins_base_ + 16ull * bin - 16; }
+  void BinInsert(Env& env, std::uint32_t bin, Addr p);
+  void Unlink(Env& env, Addr p);
+  bool BinEmpty(Env& env, std::uint32_t bin);
+
+  // ---- arena state (in simulated memory) ----
+  Addr TopBase(Env& env) { return env.Load<Addr>(meta_base_ + 8); }
+  std::uint64_t TopSize(Env& env) { return env.Load<std::uint64_t>(meta_base_ + 16); }
+  void SetTop(Env& env, Addr base, std::uint64_t size);
+
+  // Fastbin index for chunk sizes 32..fastbin_max (16-byte spaced).
+  std::uint32_t FastbinIndex(std::uint64_t chunk_size) const {
+    return static_cast<std::uint32_t>(chunk_size / 16 - 2);
+  }
+  Addr FastbinHeadAddr(std::uint32_t idx) const { return meta_base_ + 1280 + 8ull * idx; }
+  // Walks every fastbin, coalescing chunks into the regular bins (the
+  // glibc malloc_consolidate cold-line storm).
+  void Consolidate(Env& env);
+  void FreeChunkIntoBins(Env& env, Addr p, std::uint64_t hdr);
+
+  Addr AllocFromTop(Env& env, std::uint64_t chunk_size);
+  bool GrowTop(Env& env, std::uint64_t need);
+  Addr TakeFromBin(Env& env, std::uint32_t bin, std::uint64_t chunk_size);
+  Addr FinishVictim(Env& env, Addr victim, std::uint64_t victim_size, std::uint64_t chunk_size);
+  Addr MmapLarge(Env& env, std::uint64_t chunk_size);
+
+  Machine* machine_;
+  std::uint64_t last_carve_ = 0;  // chunk size actually handed out (host-side accounting)
+  PtConfig config_;
+  std::unique_ptr<PageProvider> provider_;
+  Addr meta_base_;  // [lock][top_base][top_size] then bins
+  Addr bins_base_;  // first bin sentinel fd slot
+  SimLock lock_;
+  std::uint32_t fastbin_pending_ = 0;
+  std::uint64_t consolidations_ = 0;
+  AllocatorStats stats_;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_ALLOC_PTMALLOC_PT_ALLOCATOR_H_

@@ -1,0 +1,33 @@
+#include "src/alloc/registry.h"
+
+#include <stdexcept>
+
+#include "src/alloc/jemalloc/je_allocator.h"
+#include "src/alloc/layout.h"
+#include "src/alloc/mimalloc/mi_allocator.h"
+#include "src/alloc/ptmalloc/pt_allocator.h"
+#include "src/alloc/tcmalloc/tc_allocator.h"
+
+namespace ngx {
+
+std::unique_ptr<Allocator> CreateAllocator(const std::string& name, Machine& machine) {
+  if (name == "ptmalloc2") {
+    return std::make_unique<PtAllocator>(machine, kPtHeapBase);
+  }
+  if (name == "jemalloc") {
+    return std::make_unique<JeAllocator>(machine, kJeHeapBase);
+  }
+  if (name == "tcmalloc") {
+    return std::make_unique<TcAllocator>(machine, kTcHeapBase, kTcMetaBase);
+  }
+  if (name == "mimalloc") {
+    return std::make_unique<MiAllocator>(machine, kMiHeapBase);
+  }
+  throw std::invalid_argument("unknown allocator: " + name);
+}
+
+std::vector<std::string> BaselineAllocatorNames() {
+  return {"ptmalloc2", "jemalloc", "tcmalloc", "mimalloc"};
+}
+
+}  // namespace ngx

@@ -1,0 +1,24 @@
+// Factory producing allocator instances by name, with the canonical base
+// addresses from layout.h.
+#ifndef NGX_SRC_ALLOC_REGISTRY_H_
+#define NGX_SRC_ALLOC_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/alloc/allocator.h"
+
+namespace ngx {
+
+// Names: "ptmalloc2", "jemalloc", "tcmalloc", "mimalloc".
+// (The NextGen allocator is created through its own builder in src/core,
+// since it needs an offload engine.)
+std::unique_ptr<Allocator> CreateAllocator(const std::string& name, Machine& machine);
+
+// All baseline allocator names, in the order the paper's tables list them.
+std::vector<std::string> BaselineAllocatorNames();
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_ALLOC_REGISTRY_H_

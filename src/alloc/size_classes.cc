@@ -1,0 +1,71 @@
+#include "src/alloc/size_classes.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ngx {
+
+SizeClasses::SizeClasses(std::uint64_t max_size) {
+  for (std::uint64_t s = 16; s <= 256 && s <= max_size; s += 16) {
+    sizes_.push_back(s);
+  }
+  for (std::uint64_t s = 320; s <= 1024 && s <= max_size; s += 64) {
+    sizes_.push_back(s);
+  }
+  for (std::uint64_t s = 1536; s <= 8192 && s <= max_size; s += 512) {
+    sizes_.push_back(s);
+  }
+  for (std::uint64_t s = 12288; s <= max_size; s += 4096) {
+    sizes_.push_back(s);
+  }
+  if (sizes_.back() != max_size) {
+    sizes_.push_back(max_size);
+  }
+  // Fast lookup table for small sizes.
+  const std::uint64_t lut_max = std::min<std::uint64_t>(2048, max_size);
+  lut_.resize(lut_max / 16 + 1);
+  std::uint32_t cls = 0;
+  for (std::uint64_t i = 0; i < lut_.size(); ++i) {
+    const std::uint64_t size = i * 16;
+    while (sizes_[cls] < size) {
+      ++cls;
+    }
+    lut_[i] = static_cast<std::uint8_t>(cls);
+  }
+}
+
+std::uint32_t SizeClasses::ClassOf(std::uint64_t size) const {
+  assert(size <= max_size());
+  if (size == 0) {
+    size = 1;
+  }
+  const std::uint64_t idx = (size + 15) / 16;
+  if (idx < lut_.size()) {
+    std::uint32_t cls = lut_[idx];
+    while (sizes_[cls] < size) {
+      ++cls;  // lut entry is a floor when size is not a multiple of 16
+    }
+    return cls;
+  }
+  const auto it = std::lower_bound(sizes_.begin(), sizes_.end(), size);
+  return static_cast<std::uint32_t>(it - sizes_.begin());
+}
+
+std::uint32_t SizeClasses::BatchSize(std::uint32_t cls) const {
+  const std::uint64_t size = sizes_[cls];
+  if (size <= 64) {
+    return 32;
+  }
+  if (size <= 256) {
+    return 16;
+  }
+  if (size <= 1024) {
+    return 8;
+  }
+  if (size <= 8192) {
+    return 4;
+  }
+  return 2;
+}
+
+}  // namespace ngx

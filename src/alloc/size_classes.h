@@ -1,0 +1,38 @@
+// TCMalloc-style size-class table.
+//
+// The table itself is host-side constant data (it models code/rodata, which
+// the simulator does not charge); consulting it costs a few ALU instructions
+// via Env::Work at the call sites.
+#ifndef NGX_SRC_ALLOC_SIZE_CLASSES_H_
+#define NGX_SRC_ALLOC_SIZE_CLASSES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ngx {
+
+class SizeClasses {
+ public:
+  // Classes: multiples of 16 up to 256, multiples of 64 up to 1 KiB,
+  // multiples of 512 up to 8 KiB, multiples of 4 KiB up to `max_size`.
+  explicit SizeClasses(std::uint64_t max_size = 32 * 1024);
+
+  // Smallest class index whose size >= `size`. Requires size <= max_size().
+  std::uint32_t ClassOf(std::uint64_t size) const;
+
+  std::uint64_t SizeOf(std::uint32_t cls) const { return sizes_[cls]; }
+  std::uint32_t num_classes() const { return static_cast<std::uint32_t>(sizes_.size()); }
+  std::uint64_t max_size() const { return sizes_.back(); }
+
+  // Recommended central<->local transfer batch for a class (more small
+  // objects per batch, like TCMalloc's NumObjectsToMove).
+  std::uint32_t BatchSize(std::uint32_t cls) const;
+
+ private:
+  std::vector<std::uint64_t> sizes_;
+  std::vector<std::uint8_t> lut_;  // (size+15)/16 -> class, for size <= 2 KiB
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_ALLOC_SIZE_CLASSES_H_

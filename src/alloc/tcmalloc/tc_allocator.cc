@@ -1,0 +1,265 @@
+#include "src/alloc/tcmalloc/tc_allocator.h"
+
+#include <cassert>
+
+#include "src/alloc/layout.h"
+
+namespace ngx {
+
+namespace {
+// Page-heap state lives at the head of the metadata region:
+//   +0 lock, +8 hugepage bump base, +16 bump remaining,
+//   +64 free-span list count, +72.. (base,bytes) pairs.
+constexpr std::uint64_t kPageHeapLock = 0;
+constexpr std::uint64_t kHpBumpBase = 8;
+constexpr std::uint64_t kHpBumpRemaining = 16;
+constexpr std::uint64_t kFreeSpanCount = 64;
+constexpr std::uint64_t kFreeSpanEntries = 72;
+}  // namespace
+
+TcAllocator::TcAllocator(Machine& machine, Addr heap_base, Addr meta_base,
+                         const TcConfig& config)
+    : machine_(&machine),
+      config_(config),
+      classes_(config.small_max),
+      span_provider_(std::make_unique<PageProvider>(heap_base, kHeapWindow, "tc-span")),
+      meta_provider_(std::make_unique<PageProvider>(meta_base, kHeapWindow, "tc-meta")),
+      heap_base_(heap_base),
+      pageheap_lock_(0) {
+  const std::uint32_t ncls = classes_.num_classes();
+  const int ncores = machine.num_cores();
+
+  central_stride_ = AlignUp(32 + IndexStack::FootprintBytes(config_.central_capacity), 64);
+
+  // Per-core thread-cache layout.
+  local_offset_.resize(ncls);
+  std::uint32_t off = 0;
+  for (std::uint32_t c = 0; c < ncls; ++c) {
+    local_offset_[c] = off;
+    off += static_cast<std::uint32_t>(
+        AlignUp(IndexStack::FootprintBytes(2 * classes_.BatchSize(c)), 64));
+  }
+  tcache_stride_ = AlignUp(off, kSmallPageBytes);
+
+  // Span map sized for 32 GiB of span area.
+  const std::uint64_t max_spans = (32ull << 30) / config_.span_bytes;
+
+  const std::uint64_t head_bytes =
+      AlignUp(kFreeSpanEntries + 16ull * config_.large_free_capacity, kSmallPageBytes);
+  const std::uint64_t central_bytes = AlignUp(central_stride_ * ncls, kSmallPageBytes);
+  const std::uint64_t tcache_bytes = tcache_stride_ * static_cast<std::uint64_t>(ncores);
+  const std::uint64_t spanmap_bytes = AlignUp(16 * max_spans, kSmallPageBytes);
+
+  meta_base_ = meta_provider_->MapAtStartup(
+      machine, head_bytes + central_bytes + tcache_bytes + spanmap_bytes, PageKind::kSmall4K);
+  central_base_ = meta_base_ + head_bytes;
+  tcache_base_ = central_base_ + central_bytes;
+  spanmap_base_ = tcache_base_ + tcache_bytes;
+
+  pageheap_lock_ = SimLock(meta_base_ + kPageHeapLock);
+  central_locks_.reserve(ncls);
+  for (std::uint32_t c = 0; c < ncls; ++c) {
+    central_locks_.push_back(std::make_unique<SimLock>(CentralBase(c)));
+  }
+}
+
+Addr TcAllocator::AllocSpans(Env& env, std::uint32_t nspans) {
+  const std::uint64_t need = nspans * config_.span_bytes;
+  // First fit in the free-span list.
+  const std::uint64_t count = env.Load<std::uint64_t>(meta_base_ + kFreeSpanCount);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Addr entry = meta_base_ + kFreeSpanEntries + 16 * i;
+    const std::uint64_t bytes = env.Load<std::uint64_t>(entry + 8);
+    if (bytes >= need) {
+      const Addr span_base = env.Load<Addr>(entry);
+      if (bytes > need) {
+        // Shrink in place: keep the tail free.
+        env.Store<Addr>(entry, span_base + need);
+        env.Store<std::uint64_t>(entry + 8, bytes - need);
+      } else {
+        // Swap-remove.
+        const Addr last = meta_base_ + kFreeSpanEntries + 16 * (count - 1);
+        env.Store<Addr>(entry, env.Load<Addr>(last));
+        env.Store<std::uint64_t>(entry + 8, env.Load<std::uint64_t>(last + 8));
+        env.Store<std::uint64_t>(meta_base_ + kFreeSpanCount, count - 1);
+      }
+      return span_base;
+    }
+  }
+  // Carve from the hugepage bump cursor.
+  std::uint64_t remaining = env.Load<std::uint64_t>(meta_base_ + kHpBumpRemaining);
+  Addr bump = env.Load<Addr>(meta_base_ + kHpBumpBase);
+  if (remaining < need) {
+    // Return the unusable remainder to the free list, then map fresh memory.
+    if (remaining >= config_.span_bytes && count < config_.large_free_capacity) {
+      const Addr entry = meta_base_ + kFreeSpanEntries + 16 * count;
+      env.Store<Addr>(entry, bump);
+      env.Store<std::uint64_t>(entry + 8, remaining);
+      env.Store<std::uint64_t>(meta_base_ + kFreeSpanCount, count + 1);
+    }
+    const std::uint64_t map_bytes = AlignUp(need, kHugePageBytes);
+    bump = span_provider_->Map(env, map_bytes, PageKind::kHuge2M);
+    if (bump == kNullAddr) {
+      return kNullAddr;
+    }
+    remaining = map_bytes;
+    ++stats_.mmap_calls;
+  }
+  env.Store<Addr>(meta_base_ + kHpBumpBase, bump + need);
+  env.Store<std::uint64_t>(meta_base_ + kHpBumpRemaining, remaining - need);
+  return bump;
+}
+
+Addr TcAllocator::Refill(Env& env, std::uint32_t cls) {
+  const std::uint64_t block_size = classes_.SizeOf(cls);
+  const std::uint32_t batch = classes_.BatchSize(cls);
+  IndexStack local = LocalStack(env.core_id(), cls);
+  IndexStack central = CentralStack(cls);
+  SimLockGuard guard(*central_locks_[cls], env);
+  env.Work(8);
+
+  Addr first = kNullAddr;
+  for (std::uint32_t i = 0; i < batch; ++i) {
+    std::uint64_t block = 0;
+    if (!central.Pop(env, &block)) {
+      // Central stack dry: carve sequentially from the class's span cursor.
+      std::uint64_t remaining = env.Load<std::uint64_t>(CentralBase(cls) + 16);
+      Addr bump = env.Load<Addr>(CentralBase(cls) + 8);
+      if (remaining < block_size) {
+        SimLockGuard heap_guard(pageheap_lock_, env);
+        const Addr span = AllocSpans(env, 1);
+        if (span == kNullAddr) {
+          break;
+        }
+        env.Store<std::uint64_t>(SpanEntryAddr(span), cls + 2);
+        bump = span;
+        remaining = config_.span_bytes;
+      }
+      block = bump;
+      env.Store<Addr>(CentralBase(cls) + 8, bump + block_size);
+      env.Store<std::uint64_t>(CentralBase(cls) + 16, remaining - block_size);
+    }
+    if (first == kNullAddr) {
+      first = block;
+    } else {
+      local.Push(env, block);
+    }
+  }
+  return first;
+}
+
+void TcAllocator::ReleaseToCentral(Env& env, std::uint32_t cls, std::uint32_t count) {
+  IndexStack local = LocalStack(env.core_id(), cls);
+  IndexStack central = CentralStack(cls);
+  SimLockGuard guard(*central_locks_[cls], env);
+  env.Work(6);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint64_t block = 0;
+    if (!local.Pop(env, &block)) {
+      break;
+    }
+    if (!central.Push(env, block)) {
+      ++central_overflows_;  // dropped: bounded metadata beats unbounded lists
+    }
+  }
+}
+
+Addr TcAllocator::Malloc(Env& env, std::uint64_t size) {
+  ++stats_.mallocs;
+  stats_.bytes_requested += size;
+  if (size > config_.small_max) {
+    return MallocLarge(env, size);
+  }
+  env.Work(6);  // class lookup (LUT load is modeled as rodata)
+  const std::uint32_t cls = classes_.ClassOf(size);
+  IndexStack local = LocalStack(env.core_id(), cls);
+  std::uint64_t block = 0;
+  if (!local.Pop(env, &block)) {
+    block = Refill(env, cls);
+    if (block == kNullAddr) {
+      ++stats_.oom_failures;
+      return kNullAddr;
+    }
+  }
+  stats_.bytes_live += classes_.SizeOf(cls);
+  return block;
+}
+
+Addr TcAllocator::MallocLarge(Env& env, std::uint64_t size) {
+  const std::uint32_t nspans =
+      static_cast<std::uint32_t>((size + config_.span_bytes - 1) / config_.span_bytes);
+  SimLockGuard guard(pageheap_lock_, env);
+  env.Work(10);
+  const Addr span = AllocSpans(env, nspans);
+  if (span == kNullAddr) {
+    ++stats_.oom_failures;
+    return kNullAddr;
+  }
+  const Addr entry = SpanEntryAddr(span);
+  env.Store<std::uint64_t>(entry, kSpanLarge);
+  env.Store<std::uint64_t>(entry + 8, nspans * config_.span_bytes);
+  stats_.bytes_live += nspans * config_.span_bytes;
+  return span;
+}
+
+void TcAllocator::Free(Env& env, Addr addr) {
+  if (addr == kNullAddr) {
+    return;
+  }
+  ++stats_.frees;
+  env.Work(6);
+  const Addr entry = SpanEntryAddr(addr);
+  const std::uint64_t tag = env.Load<std::uint64_t>(entry);
+  assert(tag != kSpanUnassigned && "free of unallocated span");
+  if (tag == kSpanLarge) {
+    const std::uint64_t bytes = env.Load<std::uint64_t>(entry + 8);
+    stats_.bytes_live -= bytes;
+    SimLockGuard guard(pageheap_lock_, env);
+    const std::uint64_t count = env.Load<std::uint64_t>(meta_base_ + kFreeSpanCount);
+    env.Store<std::uint64_t>(entry, kSpanUnassigned);
+    if (count < config_.large_free_capacity) {
+      const Addr slot = meta_base_ + kFreeSpanEntries + 16 * count;
+      env.Store<Addr>(slot, addr);
+      env.Store<std::uint64_t>(slot + 8, bytes);
+      env.Store<std::uint64_t>(meta_base_ + kFreeSpanCount, count + 1);
+    }
+    return;
+  }
+  const std::uint32_t cls = static_cast<std::uint32_t>(tag - 2);
+  stats_.bytes_live -= classes_.SizeOf(cls);
+  IndexStack local = LocalStack(env.core_id(), cls);
+  if (!local.Push(env, addr)) {
+    // Thread cache full: flush a batch to the central list, then retry.
+    ReleaseToCentral(env, cls, classes_.BatchSize(cls));
+    local.Push(env, addr);
+  }
+}
+
+std::uint64_t TcAllocator::UsableSize(Env& env, Addr addr) {
+  const Addr entry = SpanEntryAddr(addr);
+  const std::uint64_t tag = env.Load<std::uint64_t>(entry);
+  if (tag == kSpanLarge) {
+    return env.Load<std::uint64_t>(entry + 8);
+  }
+  return classes_.SizeOf(static_cast<std::uint32_t>(tag - 2));
+}
+
+void TcAllocator::Flush(Env& env) {
+  for (std::uint32_t cls = 0; cls < classes_.num_classes(); ++cls) {
+    IndexStack local = LocalStack(env.core_id(), cls);
+    const std::uint64_t n = local.Size(env);
+    if (n > 0) {
+      ReleaseToCentral(env, cls, static_cast<std::uint32_t>(n));
+    }
+  }
+}
+
+AllocatorStats TcAllocator::stats() const {
+  AllocatorStats s = stats_;
+  s.mapped_bytes = span_provider_->mapped_bytes() + meta_provider_->mapped_bytes();
+  s.mmap_calls = span_provider_->mmap_calls() + meta_provider_->mmap_calls();
+  s.munmap_calls = span_provider_->munmap_calls();
+  return s;
+}
+
+}  // namespace ngx

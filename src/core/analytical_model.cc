@@ -1,0 +1,37 @@
+#include "src/core/analytical_model.h"
+
+namespace ngx {
+
+BreakEvenResult ComputeBreakEven(const BreakEvenInputs& in) {
+  BreakEvenResult r;
+  r.total_calls = in.malloc_calls + in.free_calls;
+  r.overhead_cycles = static_cast<double>(r.total_calls) * in.atomics_per_call *
+                      in.atomic_cycles;
+  if (r.total_calls > 0 && in.miss_penalty_cycles > 0) {
+    r.required_miss_reduction_per_call =
+        r.overhead_cycles / (static_cast<double>(r.total_calls) * in.miss_penalty_cycles);
+  }
+  const double total_ops = static_cast<double>(in.malloc_calls) * in.mem_ops_per_malloc +
+                           static_cast<double>(in.free_calls) * in.mem_ops_per_free;
+  if (r.total_calls > 0) {
+    r.available_mem_ops_per_call = total_ops / static_cast<double>(r.total_calls);
+  }
+  r.feasible = r.required_miss_reduction_per_call <= r.available_mem_ops_per_call;
+  return r;
+}
+
+double MissPenaltyFromCounters(const PmuCounters& slow, const PmuCounters& fast) {
+  const double cycle_delta =
+      static_cast<double>(slow.cycles) - static_cast<double>(fast.cycles);
+  const double slow_misses = static_cast<double>(slow.llc_load_misses + slow.llc_store_misses +
+                                                 slow.dtlb_load_misses + slow.dtlb_store_misses);
+  const double fast_misses = static_cast<double>(fast.llc_load_misses + fast.llc_store_misses +
+                                                 fast.dtlb_load_misses + fast.dtlb_store_misses);
+  const double miss_delta = slow_misses - fast_misses;
+  if (miss_delta <= 0 || cycle_delta <= 0) {
+    return 0.0;
+  }
+  return cycle_delta / miss_delta;
+}
+
+}  // namespace ngx

@@ -1,0 +1,55 @@
+// Section 4.1's analytical break-even model for offloading.
+//
+// Given the number of malloc/free calls, the per-call synchronization cost
+// (atomic flag handshakes) and the average LLC/TLB miss penalty, it answers:
+// how many misses per call must the offload remove to pay for itself?
+//
+// With the paper's inputs (279,759,405 calls for xalancbmk, 67-cycle
+// atomics, 214-cycle miss penalty) the model reproduces the paper's numbers:
+// ~75e9 overhead cycles and a 1.25 miss-reduction threshold, which is
+// feasible given ~7 loads/stores per malloc and ~10 per free in Mimalloc.
+#ifndef NGX_SRC_CORE_ANALYTICAL_MODEL_H_
+#define NGX_SRC_CORE_ANALYTICAL_MODEL_H_
+
+#include <cstdint>
+
+#include "src/sim/pmu.h"
+
+namespace ngx {
+
+struct BreakEvenInputs {
+  std::uint64_t malloc_calls = 0;
+  std::uint64_t free_calls = 0;
+  double atomic_cycles = 67.0;      // cited Sandy Bridge average [3]
+  double atomics_per_call = 4.0;    // begin+end flags on both sides (Code 1)
+  double miss_penalty_cycles = 214.0;
+  double mem_ops_per_malloc = 7.0;  // Mimalloc fast path (4.1)
+  double mem_ops_per_free = 10.0;
+
+  // The paper's xalancbmk figures.
+  static BreakEvenInputs PaperXalancbmk() {
+    BreakEvenInputs in;
+    in.malloc_calls = 138'401'260;
+    in.free_calls = 141'394'145;
+    return in;
+  }
+};
+
+struct BreakEvenResult {
+  std::uint64_t total_calls = 0;
+  double overhead_cycles = 0.0;                 // added synchronization cycles
+  double required_miss_reduction_per_call = 0;  // to amortize the overhead
+  double available_mem_ops_per_call = 0;        // upper bound on removable misses
+  bool feasible = false;  // required reduction <= available accesses per call
+};
+
+BreakEvenResult ComputeBreakEven(const BreakEvenInputs& in);
+
+// Derives the average LLC/TLB miss penalty by comparing two measured runs
+// (the paper compares Mimalloc to Glibc): penalty = delta-cycles /
+// delta-(LLC + dTLB misses). Returns 0 if the miss delta is not positive.
+double MissPenaltyFromCounters(const PmuCounters& slow, const PmuCounters& fast);
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_CORE_ANALYTICAL_MODEL_H_

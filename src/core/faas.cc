@@ -1,0 +1,28 @@
+#include "src/core/faas.h"
+
+namespace ngx {
+
+FaasImage FaasImage::Capture(Machine& machine, Addr lo, Addr hi) {
+  FaasImage image;
+  for (const Region& r : machine.address_map().RegionsIn(lo, hi)) {
+    ImageRegion ir;
+    ir.region = r;
+    ir.bytes.resize(r.size);
+    machine.memory().ReadBytes(r.base, ir.bytes.data(), r.size);
+    image.total_bytes_ += r.size;
+    image.regions_.push_back(std::move(ir));
+  }
+  return image;
+}
+
+void FaasImage::Restore(Env& env, const FaasRestoreConfig& config) const {
+  for (const ImageRegion& ir : regions_) {
+    env.machine().address_map().Add(ir.region);
+    env.machine().memory().WriteBytes(ir.region.base, ir.bytes.data(), ir.bytes.size());
+    env.ChargeSyscall();
+    const std::uint64_t pages = (ir.region.size + kSmallPageBytes - 1) / kSmallPageBytes;
+    env.Work(pages * config.restore_page_cycles);
+  }
+}
+
+}  // namespace ngx

@@ -1,0 +1,59 @@
+// Section 3.3.2 extension: FaaS cold starts and heap images.
+//
+// "Booting a function in FaaS systems through cold start can introduce
+// extensive overhead, including additional memory consumption and allocation
+// time ... NextGen-Malloc can be extended to monitor inter-process memory
+// heap similarities in FaaS systems as well."
+//
+// FaasImage captures the initialized heap regions of a template instance
+// (the runtime/library state every instance rebuilds identically) and
+// restores them into a fresh machine at the same simulated addresses, so
+// internal pointers stay valid -- the snapshot/restore fast path of systems
+// like Medes [28] and vHive-style snapshots [30/32]. Restoring charges
+// mapping syscalls plus a per-page population cost instead of re-running
+// the allocations and initialization.
+#ifndef NGX_SRC_CORE_FAAS_H_
+#define NGX_SRC_CORE_FAAS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/env.h"
+
+namespace ngx {
+
+struct FaasRestoreConfig {
+  // Cost to populate one 4 KiB page on restore (copy/CoW-map, fault setup).
+  std::uint64_t restore_page_cycles = 220;
+};
+
+class FaasImage {
+ public:
+  // Captures every mapped region whose base lies in [lo, hi) from `machine`,
+  // including its current byte contents. Host-side; untimed (snapshotting
+  // happens off the serving path).
+  static FaasImage Capture(Machine& machine, Addr lo, Addr hi);
+
+  // Restores the image into `env`'s machine: registers the regions, copies
+  // the bytes, and charges one mmap syscall per region plus the per-page
+  // restore cost. The target machine must not have overlapping mappings.
+  void Restore(Env& env, const FaasRestoreConfig& config = {}) const;
+
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t page_count() const { return (total_bytes_ + kSmallPageBytes - 1) / kSmallPageBytes; }
+  std::size_t region_count() const { return regions_.size(); }
+
+ private:
+  struct ImageRegion {
+    Region region;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  std::vector<ImageRegion> regions_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_CORE_FAAS_H_

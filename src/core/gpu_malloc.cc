@@ -1,0 +1,127 @@
+#include "src/core/gpu_malloc.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/alloc/layout.h"
+
+namespace ngx {
+
+UvmAllocator::UvmAllocator(Machine& machine, Addr base, const UvmConfig& config)
+    : machine_(&machine),
+      config_(config),
+      provider_(base, kHeapWindow, "uvm"),
+      classes_(64 * 1024) {}
+
+Addr UvmAllocator::AllocRange(Env& env, std::uint64_t bytes) {
+  bytes = AlignUp(bytes, config_.page_bytes);
+  if (slab_remaining_ < bytes) {
+    const std::uint64_t slab = std::max<std::uint64_t>(16ull << 20, bytes);
+    slab_bump_ = provider_.Map(env, slab, PageKind::kSmall4K, config_.page_bytes);
+    if (slab_bump_ == kNullAddr) {
+      return kNullAddr;
+    }
+    slab_remaining_ = slab;
+  }
+  const Addr addr = slab_bump_;
+  slab_bump_ += bytes;
+  slab_remaining_ -= bytes;
+  return addr;
+}
+
+Addr UvmAllocator::Malloc(Env& host_env, std::uint64_t size) {
+  host_env.Work(config_.alloc_overhead_cycles);
+  const Addr addr = AllocRange(host_env, size);
+  if (addr == kNullAddr) {
+    return kNullAddr;
+  }
+  ++stats_.allocs;
+  sizes_[addr] = size;
+  stats_.bytes_live += size;
+  return addr;
+}
+
+Addr UvmAllocator::MallocAsync(Env& host_env, std::uint64_t size) {
+  // Enqueue only: a couple of stores' worth of work on the host.
+  host_env.Work(12);
+  const Addr addr = AllocRange(host_env, size);
+  if (addr == kNullAddr) {
+    return kNullAddr;
+  }
+  ++stats_.allocs;
+  ++stats_.async_allocs;
+  sizes_[addr] = size;
+  stats_.bytes_live += size;
+  pending_async_.push_back(config_.alloc_overhead_cycles);
+  return addr;
+}
+
+void UvmAllocator::StreamSync(Env& env) {
+  ++stats_.sync_points;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : pending_async_) {
+    total += c;
+  }
+  pending_async_.clear();
+  // Deferred driver work is batched: it overlaps well, costing roughly half.
+  env.Work(total / 2);
+}
+
+void UvmAllocator::Free(Env& env, Addr addr) {
+  if (addr == kNullAddr) {
+    return;
+  }
+  auto it = sizes_.find(addr);
+  assert(it != sizes_.end() && "UVM free of unknown address");
+  ++stats_.frees;
+  stats_.bytes_live -= it->second;
+  env.Work(config_.alloc_overhead_cycles / 2);
+  const std::uint64_t mapped = AlignUp(it->second, config_.page_bytes);
+  for (std::uint64_t off = 0; off < mapped; off += config_.page_bytes) {
+    residency_.erase((addr + off) / config_.page_bytes);
+  }
+  // VA returns to the driver pool (not the OS); residency reset above.
+  sizes_.erase(it);
+}
+
+UvmAllocator::Residency& UvmAllocator::PageState(Addr addr) {
+  auto [it, inserted] = residency_.try_emplace(addr / config_.page_bytes, Residency::kNone);
+  return it->second;
+}
+
+void UvmAllocator::Migrate(Env& env, Addr addr, std::uint32_t bytes, Residency to) {
+  const std::uint64_t first = addr / config_.page_bytes;
+  const std::uint64_t last = (addr + bytes - 1) / config_.page_bytes;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    Residency& r = PageState(p * config_.page_bytes);
+    if (r != to) {
+      if (r == Residency::kHost && to == Residency::kDevice) {
+        ++stats_.host_to_device_migrations;
+        env.Work(config_.migration_cycles);
+      } else if (r == Residency::kDevice && to == Residency::kHost) {
+        ++stats_.device_to_host_migrations;
+        env.Work(config_.migration_cycles);
+      }
+      r = to;
+    }
+  }
+}
+
+void UvmAllocator::HostAccess(Env& host_env, Addr addr, std::uint32_t bytes, bool write) {
+  Migrate(host_env, addr, bytes, Residency::kHost);
+  if (write) {
+    host_env.TouchWrite(addr, bytes);
+  } else {
+    host_env.TouchRead(addr, bytes);
+  }
+}
+
+void UvmAllocator::DeviceAccess(Env& issuing_env, Addr addr, std::uint32_t bytes, bool write) {
+  Migrate(issuing_env, addr, bytes, Residency::kDevice);
+  // Device-side accesses bypass the host cache hierarchy; charge flat device
+  // latency work instead of a cache access.
+  issuing_env.Work(config_.device_access_extra + bytes / kCacheLineBytes);
+  (void)write;
+}
+
+}  // namespace ngx

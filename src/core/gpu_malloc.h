@@ -1,0 +1,84 @@
+// Section 3.3.1 extension: memory allocation for CPU-GPU systems with a
+// UVM-style (unified virtual memory) residency model.
+//
+// The simulated device shares the virtual address space; pages migrate on
+// first touch from the "wrong" side, charging a per-page migration cost
+// (PCIe-ish). Stream-ordered async allocation batches the allocator work the
+// way cudaMallocAsync does: the host enqueues, and costs are paid at stream
+// synchronization on the allocator core rather than inline.
+#ifndef NGX_SRC_CORE_GPU_MALLOC_H_
+#define NGX_SRC_CORE_GPU_MALLOC_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/alloc/page_provider.h"
+#include "src/alloc/size_classes.h"
+#include "src/sim/env.h"
+
+namespace ngx {
+
+struct UvmConfig {
+  std::uint64_t page_bytes = 64 * 1024;       // UVM migration granule
+  std::uint64_t migration_cycles = 2200;      // per migrated page over PCIe
+  std::uint64_t device_access_extra = 40;     // device-side access overhead
+  std::uint64_t alloc_overhead_cycles = 350;  // driver work per allocation
+};
+
+struct UvmStats {
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t host_to_device_migrations = 0;
+  std::uint64_t device_to_host_migrations = 0;
+  std::uint64_t async_allocs = 0;
+  std::uint64_t sync_points = 0;
+  std::uint64_t bytes_live = 0;
+};
+
+class UvmAllocator {
+ public:
+  UvmAllocator(Machine& machine, Addr base, const UvmConfig& config = {});
+
+  // Synchronous UVM allocation from the host (cudaMallocManaged-like):
+  // charges driver overhead inline.
+  Addr Malloc(Env& host_env, std::uint64_t size);
+  void Free(Env& env, Addr addr);
+
+  // Stream-ordered allocation (cudaMallocAsync-like): the address is
+  // reserved immediately; driver cost is deferred until StreamSync.
+  Addr MallocAsync(Env& host_env, std::uint64_t size);
+  void StreamSync(Env& env);
+
+  // A timed access from the host (core access) or device. First touch from
+  // the opposite side migrates the covering pages.
+  void HostAccess(Env& host_env, Addr addr, std::uint32_t bytes, bool write);
+  void DeviceAccess(Env& issuing_env, Addr addr, std::uint32_t bytes, bool write);
+
+  const UvmStats& stats() const { return stats_; }
+
+ private:
+  enum class Residency : std::uint8_t { kNone, kHost, kDevice };
+
+  Residency& PageState(Addr addr);
+  void Migrate(Env& env, Addr addr, std::uint32_t bytes, Residency to);
+
+  // Carves page-aligned ranges from 16 MiB driver-pool slabs (one syscall
+  // per slab, as CUDA's pooled allocators behave). Freed VA is not reused.
+  Addr AllocRange(Env& env, std::uint64_t bytes);
+
+  Machine* machine_;
+  UvmConfig config_;
+  PageProvider provider_;
+  SizeClasses classes_;
+  Addr slab_bump_ = 0;
+  std::uint64_t slab_remaining_ = 0;
+  std::unordered_map<std::uint64_t, Residency> residency_;
+  std::unordered_map<std::uint64_t, std::uint64_t> sizes_;  // addr -> bytes
+  std::vector<std::uint64_t> pending_async_;                // deferred driver work
+  UvmStats stats_;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_CORE_GPU_MALLOC_H_

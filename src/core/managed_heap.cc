@@ -1,0 +1,108 @@
+#include "src/core/managed_heap.h"
+
+#include <vector>
+
+namespace ngx {
+
+Addr ManagedHeap::AllocObject(Env& env, std::uint32_t nrefs, std::uint32_t payload_bytes) {
+  const std::uint64_t size = kHeaderBytes + 8ull * nrefs + payload_bytes;
+  const Addr obj = backing_->Malloc(env, size);
+  if (obj == kNullAddr) {
+    return kNullAddr;
+  }
+  env.Store<std::uint64_t>(obj + 0, 0);  // mark word
+  env.Store<Addr>(obj + 8, all_objects_head_);
+  env.Store<std::uint32_t>(obj + 16, nrefs);
+  env.Store<std::uint32_t>(obj + 20, payload_bytes);
+  for (std::uint32_t i = 0; i < nrefs; ++i) {
+    env.Store<Addr>(obj + kHeaderBytes + 8ull * i, kNullAddr);
+  }
+  all_objects_head_ = obj;
+  ++objects_;
+  return obj;
+}
+
+void ManagedHeap::SetRef(Env& env, Addr obj, std::uint32_t slot, Addr target) {
+  env.Store<Addr>(obj + kHeaderBytes + 8ull * slot, target);
+  env.Work(2);  // write-barrier bookkeeping
+}
+
+Addr ManagedHeap::GetRef(Env& env, Addr obj, std::uint32_t slot) {
+  return env.Load<Addr>(obj + kHeaderBytes + 8ull * slot);
+}
+
+Addr ManagedHeap::PayloadAddr(Env& env, Addr obj) {
+  const std::uint32_t nrefs = env.Load<std::uint32_t>(obj + 16);
+  return obj + kHeaderBytes + 8ull * nrefs;
+}
+
+GcStats ManagedHeap::Collect(Env& env) {
+  GcStats run;
+  ++stats_.collections;
+  ++run.collections;
+  const std::uint64_t t0 = env.now();
+
+  // Mark: depth-first from the roots, chasing reference slots in simulated
+  // memory (this is the traffic that pollutes whichever core runs it).
+  std::vector<Addr> stack(roots_.begin(), roots_.end());
+  while (!stack.empty()) {
+    const Addr obj = stack.back();
+    stack.pop_back();
+    if (obj == kNullAddr) {
+      continue;
+    }
+    const std::uint64_t mark = env.Load<std::uint64_t>(obj + 0);
+    if (mark & 1) {
+      continue;
+    }
+    env.Store<std::uint64_t>(obj + 0, mark | 1);
+    ++run.objects_marked;
+    const std::uint32_t nrefs = env.Load<std::uint32_t>(obj + 16);
+    for (std::uint32_t i = 0; i < nrefs; ++i) {
+      const Addr child = env.Load<Addr>(obj + kHeaderBytes + 8ull * i);
+      if (child != kNullAddr) {
+        stack.push_back(child);
+      }
+    }
+    env.Work(6);
+  }
+  const std::uint64_t t_mark = env.now();
+  run.mark_cycles = t_mark - t0;
+
+  // Sweep: walk the global object list; unlink and free unmarked objects,
+  // clear the mark bit on survivors.
+  Addr prev = kNullAddr;
+  Addr cur = all_objects_head_;
+  while (cur != kNullAddr) {
+    const Addr next = env.Load<Addr>(cur + 8);
+    const std::uint64_t mark = env.Load<std::uint64_t>(cur + 0);
+    if (mark & 1) {
+      env.Store<std::uint64_t>(cur + 0, mark & ~1ull);
+      prev = cur;
+    } else {
+      if (prev == kNullAddr) {
+        all_objects_head_ = next;
+      } else {
+        env.Store<Addr>(prev + 8, next);
+      }
+      const std::uint32_t nrefs = env.Load<std::uint32_t>(cur + 16);
+      const std::uint32_t payload = env.Load<std::uint32_t>(cur + 20);
+      run.bytes_reclaimed += kHeaderBytes + 8ull * nrefs + payload;
+      backing_->Free(env, cur);
+      ++run.objects_swept;
+      --objects_;
+    }
+    env.Work(4);
+    cur = next;
+  }
+  run.sweep_cycles = env.now() - t_mark;
+
+  stats_.objects_marked += run.objects_marked;
+  stats_.objects_swept += run.objects_swept;
+  stats_.bytes_reclaimed += run.bytes_reclaimed;
+  stats_.mark_cycles += run.mark_cycles;
+  stats_.sweep_cycles += run.sweep_cycles;
+  return run;
+}
+
+}  // namespace ngx

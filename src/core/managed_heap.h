@@ -1,0 +1,78 @@
+// Section 3.3.2 extension: garbage collection as an offloadable management
+// function ("Research opportunities for using NextGen-Malloc to process
+// garbage collection will be worth exploring"; the paper cites Maas et
+// al.'s near-memory GC accelerator [19]).
+//
+// ManagedHeap is a small mark-sweep managed runtime on top of any Allocator.
+// Objects live in simulated memory: header (mark word, sweep link, shape),
+// reference slots, then payload. Collection traverses the object graph with
+// timed loads and sweeps a global object list -- so running it *inline* on
+// the application core evicts the application's working set (the classic GC
+// cache-pollution problem), while running it on the dedicated allocator core
+// leaves the application's caches and TLB warm. The same mechanism as
+// malloc offload, at a coarser granularity.
+#ifndef NGX_SRC_CORE_MANAGED_HEAP_H_
+#define NGX_SRC_CORE_MANAGED_HEAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/alloc/allocator.h"
+
+namespace ngx {
+
+struct GcStats {
+  std::uint64_t collections = 0;
+  std::uint64_t objects_marked = 0;
+  std::uint64_t objects_swept = 0;
+  std::uint64_t bytes_reclaimed = 0;
+  std::uint64_t mark_cycles = 0;   // simulated cycles spent marking
+  std::uint64_t sweep_cycles = 0;  // simulated cycles spent sweeping
+};
+
+class ManagedHeap {
+ public:
+  // Object layout (returned Addr is the object base):
+  //   +0  mark word (bit0 = marked)
+  //   +8  next object (global sweep list)
+  //   +16 nrefs (u32), payload bytes (u32)
+  //   +24 reference slots (8 bytes each)
+  //   +24 + 8*nrefs payload
+  static constexpr std::uint64_t kHeaderBytes = 24;
+
+  explicit ManagedHeap(Allocator& backing) : backing_(&backing) {}
+
+  // Allocates a managed object with `nrefs` reference slots (initialized to
+  // null) and `payload_bytes` of payload.
+  Addr AllocObject(Env& env, std::uint32_t nrefs, std::uint32_t payload_bytes);
+
+  // Reference-slot accessors (timed).
+  void SetRef(Env& env, Addr obj, std::uint32_t slot, Addr target);
+  Addr GetRef(Env& env, Addr obj, std::uint32_t slot);
+  static Addr PayloadAddr(Env& env, Addr obj);  // timed (reads the shape word)
+
+  // Root set (models stack/global references; host-side, as registers would
+  // be scanned from a stack map).
+  void AddRoot(Addr obj) { roots_.push_back(obj); }
+  void ClearRoots() { roots_.clear(); }
+  std::vector<Addr>& roots() { return roots_; }
+
+  // Stop-the-world mark-sweep executed on `env`'s core: marking chases the
+  // object graph (timed loads), sweeping walks the global object list and
+  // frees garbage through the backing allocator.
+  GcStats Collect(Env& env);
+
+  std::uint64_t live_objects() const { return objects_; }
+  const GcStats& total_stats() const { return stats_; }
+
+ private:
+  Allocator* backing_;
+  Addr all_objects_head_ = kNullAddr;  // sim-memory intrusive list via +8
+  std::uint64_t objects_ = 0;
+  std::vector<Addr> roots_;
+  GcStats stats_;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_CORE_MANAGED_HEAP_H_

@@ -1,0 +1,53 @@
+// Configuration knobs for NextGen-Malloc, matching the paper's research
+// questions one for one:
+//  * offload / server core type  -> Sections 3.1.1, 3.2
+//  * metadata layout             -> Section 3.1.2 (Figure 2)
+//  * remove_atomics              -> Section 3.1.3
+//  * async_free                  -> Section 3.1.2 ("free is not on the
+//                                   critical path and can run asynchronously")
+//  * prediction                  -> Section 3.3.2 (predictive preallocation)
+#ifndef NGX_SRC_CORE_NEXTGEN_CONFIG_H_
+#define NGX_SRC_CORE_NEXTGEN_CONFIG_H_
+
+#include <cstdint>
+
+namespace ngx {
+
+struct NgxConfig {
+  // Run malloc/free on a dedicated core via the offload engine. When false,
+  // the allocator runs inline on the application cores (MMT-style ablation).
+  bool offload = true;
+
+  // Frees ride the fire-and-forget ring instead of a round trip.
+  bool async_free = true;
+
+  // Segregated metadata (16-bit side indices) vs aggregated (intrusive
+  // next pointers in the blocks themselves).
+  bool segregated_metadata = true;
+
+  // Section 3.1.3: the dedicated core serializes every operation, so the
+  // heap's internal lock atomics can be removed. Set to false to keep them
+  // (ablation), or when running non-offloaded with multiple threads.
+  bool remove_atomics = true;
+
+  // Back spans with 2 MiB hugepages (TLB reach).
+  bool hugepage_spans = true;
+
+  // Section 3.3.2: server-side run prediction + batch preallocation into a
+  // per-client stash.
+  bool prediction = false;
+  std::uint32_t max_predict_batch = 16;
+  std::uint32_t stash_capacity = 32;
+
+  std::uint32_t ring_capacity = 64;
+
+  static NgxConfig PaperPrototype() {
+    // The 4.2 software prototype: offloaded, synchronous malloc, async free,
+    // segregated metadata, no prediction.
+    return NgxConfig{};
+  }
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_CORE_NEXTGEN_CONFIG_H_

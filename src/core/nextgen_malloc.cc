@@ -1,0 +1,156 @@
+#include "src/core/nextgen_malloc.h"
+
+#include <cassert>
+
+#include "src/alloc/layout.h"
+
+namespace ngx {
+
+NgxAllocator::NgxAllocator(Machine& machine, OffloadEngine* engine, const NgxConfig& config)
+    : machine_(&machine),
+      config_(config),
+      classes_(32 * 1024),
+      engine_(engine) {
+  assert((engine != nullptr) == config.offload);
+  ServerHeapConfig hc;
+  hc.span_bytes = 64 * 1024;  // page-granular spans: reuse locality
+  hc.hugepage_spans = config.hugepage_spans;
+  // Section 3.1.3: the dedicated core serializes operations, so the lock can
+  // go. Inline (non-offloaded) mode keeps it unless explicitly removed.
+  hc.use_lock = !config.remove_atomics;
+  heap_ = MakeServerHeap(machine, config.segregated_metadata, kNgxHeapBase, kNgxMetaBase, hc);
+  if (engine != nullptr) {
+    engine->set_server(this);
+  }
+  if (config.prediction) {
+    predictor_.emplace(machine.num_cores(), classes_.num_classes(), config.max_predict_batch);
+    stash_slot_ = AlignUp(IndexStack::FootprintBytes(config.stash_capacity), 64);
+    stash_stride_ = AlignUp(stash_slot_ * classes_.num_classes(), kSmallPageBytes);
+    stash_provider_ = std::make_unique<PageProvider>(
+        kNgxMetaBase + kHeapWindow, kHeapWindow, "ngx-stash");
+    stash_base_ = stash_provider_->MapAtStartup(
+        machine, stash_stride_ * machine.num_cores(), PageKind::kSmall4K);
+  }
+}
+
+Addr NgxAllocator::Malloc(Env& env, std::uint64_t size) {
+  if (!config_.offload) {
+    return heap_->Malloc(env, size);
+  }
+  env.Work(4);  // stub dispatch
+  if (config_.prediction && size <= classes_.max_size()) {
+    const std::uint32_t cls = classes_.ClassOf(size);
+    IndexStack stash = Stash(env.core_id(), cls);
+    std::uint64_t block = 0;
+    if (stash.Pop(env, &block)) {
+      ++stash_hits_;
+      return block;
+    }
+    ++sync_mallocs_;
+    return engine_->SyncRequest(env, OffloadOp::kMallocBatch, size);
+  }
+  ++sync_mallocs_;
+  return engine_->SyncRequest(env, OffloadOp::kMalloc, size);
+}
+
+void NgxAllocator::Free(Env& env, Addr addr) {
+  if (addr == kNullAddr) {
+    return;
+  }
+  if (!config_.offload) {
+    heap_->Free(env, addr);
+    return;
+  }
+  env.Work(3);
+  if (config_.async_free) {
+    engine_->AsyncRequest(env, OffloadOp::kFree, addr);
+  } else {
+    engine_->SyncRequest(env, OffloadOp::kFree, addr);
+  }
+}
+
+std::uint64_t NgxAllocator::UsableSize(Env& env, Addr addr) {
+  if (!config_.offload) {
+    return heap_->UsableSize(env, addr);
+  }
+  return engine_->SyncRequest(env, OffloadOp::kUsableSize, addr);
+}
+
+void NgxAllocator::Flush(Env& env) {
+  if (!config_.offload) {
+    return;
+  }
+  // Push pending async frees through, and return any stashed blocks so
+  // footprint accounting settles.
+  if (config_.prediction) {
+    for (std::uint32_t cls = 0; cls < classes_.num_classes(); ++cls) {
+      IndexStack stash = Stash(env.core_id(), cls);
+      std::uint64_t block = 0;
+      while (stash.Pop(env, &block)) {
+        engine_->AsyncRequest(env, OffloadOp::kFree, block);
+      }
+    }
+  }
+  engine_->SyncRequest(env, OffloadOp::kFlush, 0);
+}
+
+std::uint64_t NgxAllocator::HandleRequest(Env& server_env, int client, OffloadOp op,
+                                          std::uint64_t arg) {
+  switch (op) {
+    case OffloadOp::kMalloc:
+      return heap_->Malloc(server_env, arg);
+    case OffloadOp::kMallocBatch: {
+      const Addr first = heap_->Malloc(server_env, arg);
+      if (first == kNullAddr || !config_.prediction) {
+        return first;
+      }
+      const std::uint32_t cls = classes_.ClassOf(arg);
+      std::uint32_t batch = predictor_->OnMallocMiss(client, cls);
+      batch = std::min(batch, config_.stash_capacity);
+      IndexStack stash = Stash(client, cls);
+      for (std::uint32_t i = 0; i < batch; ++i) {
+        // Preallocate the class size so any request that maps to `cls` can
+        // reuse the block.
+        const Addr b = heap_->Malloc(server_env, classes_.SizeOf(cls));
+        if (b == kNullAddr || !stash.Push(server_env, b)) {
+          if (b != kNullAddr) {
+            heap_->Free(server_env, b);
+          }
+          break;
+        }
+      }
+      return first;
+    }
+    case OffloadOp::kFree:
+      heap_->Free(server_env, arg);
+      return 0;
+    case OffloadOp::kUsableSize:
+      return heap_->UsableSize(server_env, arg);
+    case OffloadOp::kFlush:
+      return 0;
+  }
+  return 0;
+}
+
+AllocatorStats NgxAllocator::stats() const { return heap_->stats(); }
+
+NgxSystem MakeNgxSystem(Machine& machine, const NgxConfig& config, int server_core) {
+  NgxSystem sys;
+  if (config.offload) {
+    if (server_core < 0) {
+      server_core = machine.num_cores() - 1;
+    }
+    sys.engine = std::make_unique<OffloadEngine>(machine, server_core, kChannelBase,
+                                                 config.ring_capacity);
+    machine.address_map().Add(Region{kChannelBase,
+                                     kChannelStride * static_cast<std::uint64_t>(
+                                                          machine.num_cores()),
+                                     PageKind::kSmall4K, "channel"});
+    sys.allocator = std::make_unique<NgxAllocator>(machine, sys.engine.get(), config);
+  } else {
+    sys.allocator = std::make_unique<NgxAllocator>(machine, nullptr, config);
+  }
+  return sys;
+}
+
+}  // namespace ngx

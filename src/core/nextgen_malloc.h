@@ -1,0 +1,87 @@
+// NextGen-Malloc: the paper's contribution.
+//
+// The allocator has two halves:
+//  * A client stub implementing the Allocator interface on application
+//    cores. Malloc is a synchronous mailbox round trip (Code 1); Free rides
+//    the async ring (Section 3.1.2: "the entire free phase is not on the
+//    critical path"). With prediction enabled, a per-core stash absorbs
+//    same-class allocation runs without any round trip (Section 3.3.2).
+//  * A server bound to the OffloadEngine's dedicated core, running a
+//    single-owner heap whose metadata never enters the application cores'
+//    caches (Section 3.1.2), with its lock atomics removed (Section 3.1.3).
+//
+// Set config.offload = false for the MMT-style inline ablation: the same
+// heap runs on the calling core (the lock must then be kept when several
+// threads share it).
+#ifndef NGX_SRC_CORE_NEXTGEN_MALLOC_H_
+#define NGX_SRC_CORE_NEXTGEN_MALLOC_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/alloc/allocator.h"
+#include "src/alloc/freelist.h"
+#include "src/alloc/size_classes.h"
+#include "src/core/nextgen_config.h"
+#include "src/core/server_heap.h"
+#include "src/offload/offload_engine.h"
+#include "src/offload/prediction.h"
+
+namespace ngx {
+
+class NgxAllocator : public Allocator, public OffloadServer {
+ public:
+  // `engine` may be nullptr iff config.offload is false. The engine's
+  // server is set to this allocator.
+  NgxAllocator(Machine& machine, OffloadEngine* engine, const NgxConfig& config);
+
+  // ---- Allocator ----
+  std::string_view name() const override { return "nextgen"; }
+  Addr Malloc(Env& env, std::uint64_t size) override;
+  void Free(Env& env, Addr addr) override;
+  std::uint64_t UsableSize(Env& env, Addr addr) override;
+  void Flush(Env& env) override;
+  AllocatorStats stats() const override;
+
+  // ---- OffloadServer ----
+  std::uint64_t HandleRequest(Env& server_env, int client, OffloadOp op,
+                              std::uint64_t arg) override;
+
+  const NgxConfig& config() const { return config_; }
+  ServerHeap& heap() { return *heap_; }
+  std::uint64_t stash_hits() const { return stash_hits_; }
+  std::uint64_t sync_mallocs() const { return sync_mallocs_; }
+
+ private:
+  IndexStack Stash(int core, std::uint32_t cls) const {
+    return IndexStack(stash_base_ + stash_stride_ * static_cast<std::uint32_t>(core) +
+                          stash_slot_ * cls,
+                      config_.stash_capacity);
+  }
+
+  Machine* machine_;
+  NgxConfig config_;
+  SizeClasses classes_;  // client-side class computation for the stash
+  std::unique_ptr<ServerHeap> heap_;
+  OffloadEngine* engine_;
+  std::optional<AllocationPredictor> predictor_;
+  std::unique_ptr<PageProvider> stash_provider_;
+  Addr stash_base_ = 0;
+  std::uint64_t stash_stride_ = 0;
+  std::uint64_t stash_slot_ = 0;
+  std::uint64_t stash_hits_ = 0;
+  std::uint64_t sync_mallocs_ = 0;
+};
+
+// Convenience builder: creates the engine (dedicated core = last core by
+// default) plus the allocator and wires them together.
+struct NgxSystem {
+  std::unique_ptr<OffloadEngine> engine;
+  std::unique_ptr<NgxAllocator> allocator;
+};
+NgxSystem MakeNgxSystem(Machine& machine, const NgxConfig& config, int server_core = -1);
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_CORE_NEXTGEN_MALLOC_H_

@@ -1,0 +1,366 @@
+#include "src/core/server_heap.h"
+
+#include <cassert>
+
+#include "src/alloc/freelist.h"
+#include "src/alloc/layout.h"
+
+namespace ngx {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// SegregatedHeap
+//
+// Metadata region layout:
+//   +0                    heap lock (optional)
+//   +64                   per-class bump cursors: (addr, remaining) pairs
+//   +64 + 16*ncls         per-class free stacks (IndexStack)
+//   spanmap_off           span class map, ONE u16 PER SPAN (the paper's
+//                         "smaller index (16-bit for example)")
+//   largemap_off          u64 bytes per span, used only by large mappings
+// ---------------------------------------------------------------------------
+class SegregatedHeap : public ServerHeap {
+ public:
+  SegregatedHeap(Machine& machine, Addr heap_base, Addr meta_base,
+                 const ServerHeapConfig& config)
+      : config_(config),
+        classes_(config.small_max),
+        span_provider_(heap_base, kHeapWindow, "ngx-span"),
+        meta_provider_(meta_base, kHeapWindow, "ngx-meta"),
+        heap_base_(heap_base),
+        lock_(0) {
+    const std::uint32_t ncls = classes_.num_classes();
+    const std::uint64_t max_spans = (32ull << 30) / config.span_bytes;
+    cursor_off_ = 64;
+    stacks_off_ = cursor_off_ + 16ull * ncls;
+    const std::uint64_t stack_stride =
+        AlignUp(IndexStack::FootprintBytes(config.stack_capacity), 64);
+    spanmap_off_ = AlignUp(stacks_off_ + stack_stride * ncls, kSmallPageBytes);
+    largemap_off_ = AlignUp(spanmap_off_ + 2 * max_spans, kSmallPageBytes);
+    const std::uint64_t total = AlignUp(largemap_off_ + 8 * max_spans, kSmallPageBytes);
+    meta_base_ = meta_provider_.MapAtStartup(machine, total, PageKind::kSmall4K);
+    stack_stride_ = stack_stride;
+    lock_ = SimLock(meta_base_);
+  }
+
+  std::string_view name() const override { return "ngx-segregated"; }
+
+  Addr Malloc(Env& env, std::uint64_t size) override {
+    ++stats_.mallocs;
+    stats_.bytes_requested += size;
+    MaybeLock(env);
+    Addr r;
+    if (size > config_.small_max) {
+      r = MallocLarge(env, size);
+    } else {
+      r = MallocSmall(env, size);
+    }
+    MaybeUnlock(env);
+    return r;
+  }
+
+  void Free(Env& env, Addr addr) override {
+    if (addr == kNullAddr) {
+      return;
+    }
+    ++stats_.frees;
+    MaybeLock(env);
+    env.Work(5);
+    const std::uint64_t span = SpanIndex(addr);
+    const std::uint16_t tag = env.Load<std::uint16_t>(SpanTagAddr(span));
+    assert(tag != kTagFree && "free of unallocated address");
+    if (tag == kTagLarge) {
+      const std::uint64_t bytes = env.Load<std::uint64_t>(LargeBytesAddr(span));
+      stats_.bytes_live -= bytes;
+      env.Store<std::uint16_t>(SpanTagAddr(span), kTagFree);
+      ++stats_.munmap_calls;
+      span_provider_.Unmap(env, addr, bytes);
+    } else {
+      const std::uint32_t cls = tag - kTagClassBase;
+      stats_.bytes_live -= classes_.SizeOf(cls);
+      if (!Stack(cls).Push(env, addr)) {
+        ++overflow_drops_;
+      }
+    }
+    MaybeUnlock(env);
+  }
+
+  std::uint64_t UsableSize(Env& env, Addr addr) override {
+    const std::uint64_t span = SpanIndex(addr);
+    const std::uint16_t tag = env.Load<std::uint16_t>(SpanTagAddr(span));
+    if (tag == kTagLarge) {
+      return env.Load<std::uint64_t>(LargeBytesAddr(span));
+    }
+    return classes_.SizeOf(tag - kTagClassBase);
+  }
+
+  AllocatorStats stats() const override {
+    AllocatorStats s = stats_;
+    s.mapped_bytes = span_provider_.mapped_bytes() + meta_provider_.mapped_bytes();
+    s.mmap_calls = span_provider_.mmap_calls();
+    s.munmap_calls = span_provider_.munmap_calls();
+    return s;
+  }
+
+ private:
+  static constexpr std::uint16_t kTagFree = 0;
+  static constexpr std::uint16_t kTagLarge = 1;
+  static constexpr std::uint16_t kTagClassBase = 2;
+
+  std::uint64_t SpanIndex(Addr a) const { return (a - heap_base_) / config_.span_bytes; }
+  Addr SpanTagAddr(std::uint64_t span) const { return meta_base_ + spanmap_off_ + 2 * span; }
+  Addr LargeBytesAddr(std::uint64_t span) const {
+    return meta_base_ + largemap_off_ + 8 * span;
+  }
+  IndexStack Stack(std::uint32_t cls) const {
+    return IndexStack(meta_base_ + stacks_off_ + stack_stride_ * cls, config_.stack_capacity);
+  }
+  Addr CursorAddr(std::uint32_t cls) const { return meta_base_ + cursor_off_ + 16ull * cls; }
+
+  void MaybeLock(Env& env) {
+    if (config_.use_lock) {
+      lock_.Acquire(env);
+    }
+  }
+  void MaybeUnlock(Env& env) {
+    if (config_.use_lock) {
+      lock_.Release(env);
+    }
+  }
+
+  Addr MallocSmall(Env& env, std::uint64_t size) {
+    env.Work(6);
+    const std::uint32_t cls = classes_.ClassOf(size);
+    IndexStack stack = Stack(cls);
+    std::uint64_t block = 0;
+    if (stack.Pop(env, &block)) {
+      stats_.bytes_live += classes_.SizeOf(cls);
+      return block;
+    }
+    // Bump-carve from the class's current span.
+    const std::uint64_t bs = classes_.SizeOf(cls);
+    Addr bump = env.Load<Addr>(CursorAddr(cls));
+    std::uint64_t remaining = env.Load<std::uint64_t>(CursorAddr(cls) + 8);
+    if (remaining < bs) {
+      const Addr span = span_provider_.Map(
+          env, config_.span_bytes,
+          config_.hugepage_spans ? PageKind::kHuge2M : PageKind::kSmall4K,
+          config_.span_bytes);
+      if (span == kNullAddr) {
+        ++stats_.oom_failures;
+        return kNullAddr;
+      }
+      ++stats_.mmap_calls;
+      env.Store<std::uint16_t>(SpanTagAddr(SpanIndex(span)),
+                               static_cast<std::uint16_t>(kTagClassBase + cls));
+      bump = span;
+      remaining = config_.span_bytes;
+    }
+    env.Store<Addr>(CursorAddr(cls), bump + bs);
+    env.Store<std::uint64_t>(CursorAddr(cls) + 8, remaining - bs);
+    stats_.bytes_live += bs;
+    return bump;
+  }
+
+  Addr MallocLarge(Env& env, std::uint64_t size) {
+    env.Work(8);
+    const std::uint64_t bytes = AlignUp(size, config_.span_bytes);
+    const Addr addr = span_provider_.Map(
+        env, bytes, config_.hugepage_spans ? PageKind::kHuge2M : PageKind::kSmall4K,
+        config_.span_bytes);
+    if (addr == kNullAddr) {
+      ++stats_.oom_failures;
+      return kNullAddr;
+    }
+    ++stats_.mmap_calls;
+    const std::uint64_t span = SpanIndex(addr);
+    env.Store<std::uint16_t>(SpanTagAddr(span), kTagLarge);
+    env.Store<std::uint64_t>(LargeBytesAddr(span), bytes);
+    stats_.bytes_live += bytes;
+    return addr;
+  }
+
+  ServerHeapConfig config_;
+  SizeClasses classes_;
+  PageProvider span_provider_;
+  PageProvider meta_provider_;
+  Addr heap_base_;
+  Addr meta_base_ = 0;
+  std::uint64_t cursor_off_ = 0;
+  std::uint64_t stacks_off_ = 0;
+  std::uint64_t stack_stride_ = 0;
+  std::uint64_t spanmap_off_ = 0;
+  std::uint64_t largemap_off_ = 0;
+  SimLock lock_;
+  std::uint64_t overflow_drops_ = 0;
+  AllocatorStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// AggregatedHeap
+//
+// Per-class intrusive free lists; every block carries an 8-byte class header
+// directly in front of the user bytes, and free-list links live in the
+// blocks themselves.
+// ---------------------------------------------------------------------------
+class AggregatedHeap : public ServerHeap {
+ public:
+  AggregatedHeap(Machine& machine, Addr heap_base, Addr meta_base,
+                 const ServerHeapConfig& config)
+      : config_(config),
+        classes_(config.small_max),
+        provider_(heap_base, kHeapWindow, "ngx-agg"),
+        lock_(0) {
+    const std::uint32_t ncls = classes_.num_classes();
+    meta_provider_ = std::make_unique<PageProvider>(meta_base, kHeapWindow, "ngx-agg-meta");
+    meta_base_ = meta_provider_->MapAtStartup(
+        machine, AlignUp(64 + 8ull * ncls + 16ull * ncls, kSmallPageBytes),
+        PageKind::kSmall4K);
+    lock_ = SimLock(meta_base_);
+  }
+
+  std::string_view name() const override { return "ngx-aggregated"; }
+
+  Addr Malloc(Env& env, std::uint64_t size) override {
+    ++stats_.mallocs;
+    stats_.bytes_requested += size;
+    MaybeLock(env);
+    Addr r;
+    if (size > config_.small_max) {
+      r = MallocLarge(env, size);
+    } else {
+      env.Work(6);
+      const std::uint32_t cls = classes_.ClassOf(size);
+      const std::uint64_t bs = classes_.SizeOf(cls) + 16;  // header keeps 16-alignment
+      IntrusiveFreeList list(HeadAddr(cls));
+      Addr block = list.Pop(env);  // touches the block's own line
+      if (block == kNullAddr) {
+        block = Carve(env, cls, bs);
+        if (block != kNullAddr) {
+          env.Store<std::uint64_t>(block + 8, cls);  // class tag before user bytes
+        }
+      }
+      if (block != kNullAddr) {
+        stats_.bytes_live += bs - 16;
+        r = block + 16;
+      } else {
+        ++stats_.oom_failures;
+        r = kNullAddr;
+      }
+    }
+    MaybeUnlock(env);
+    return r;
+  }
+
+  void Free(Env& env, Addr addr) override {
+    if (addr == kNullAddr) {
+      return;
+    }
+    ++stats_.frees;
+    MaybeLock(env);
+    env.Work(5);
+    const std::uint64_t header = env.Load<std::uint64_t>(addr - 8);
+    if (header & kLargeFlag) {
+      const std::uint64_t bytes = header & ~kLargeFlag;
+      stats_.bytes_live -= bytes - kSmallPageBytes;
+      ++stats_.munmap_calls;
+      provider_.Unmap(env, addr - kSmallPageBytes, bytes);
+    } else {
+      const std::uint32_t cls = static_cast<std::uint32_t>(header);
+      stats_.bytes_live -= classes_.SizeOf(cls);
+      IntrusiveFreeList list(HeadAddr(cls));
+      list.Push(env, addr - 16);  // link lives at block+0; class tag at +8 survives
+    }
+    MaybeUnlock(env);
+  }
+
+  std::uint64_t UsableSize(Env& env, Addr addr) override {
+    const std::uint64_t header = env.Load<std::uint64_t>(addr - 8);
+    if (header & kLargeFlag) {
+      return (header & ~kLargeFlag) - kSmallPageBytes;
+    }
+    return classes_.SizeOf(static_cast<std::uint32_t>(header));
+  }
+
+  AllocatorStats stats() const override {
+    AllocatorStats s = stats_;
+    s.mapped_bytes = provider_.mapped_bytes() + meta_provider_->mapped_bytes();
+    s.mmap_calls = provider_.mmap_calls();
+    s.munmap_calls = provider_.munmap_calls();
+    return s;
+  }
+
+ private:
+  static constexpr std::uint64_t kLargeFlag = 1ull << 63;
+
+  Addr HeadAddr(std::uint32_t cls) const { return meta_base_ + 64 + 8ull * cls; }
+  Addr CursorAddr(std::uint32_t cls) const {
+    return meta_base_ + 64 + 8ull * classes_.num_classes() + 16ull * cls;
+  }
+
+  void MaybeLock(Env& env) {
+    if (config_.use_lock) {
+      lock_.Acquire(env);
+    }
+  }
+  void MaybeUnlock(Env& env) {
+    if (config_.use_lock) {
+      lock_.Release(env);
+    }
+  }
+
+  Addr Carve(Env& env, std::uint32_t cls, std::uint64_t bs) {
+    Addr bump = env.Load<Addr>(CursorAddr(cls));
+    std::uint64_t remaining = env.Load<std::uint64_t>(CursorAddr(cls) + 8);
+    if (remaining < bs) {
+      const Addr span = provider_.Map(
+          env, config_.span_bytes,
+          config_.hugepage_spans ? PageKind::kHuge2M : PageKind::kSmall4K);
+      if (span == kNullAddr) {
+        return kNullAddr;
+      }
+      ++stats_.mmap_calls;
+      bump = span;
+      remaining = config_.span_bytes;
+    }
+    env.Store<Addr>(CursorAddr(cls), bump + bs);
+    env.Store<std::uint64_t>(CursorAddr(cls) + 8, remaining - bs);
+    return bump;
+  }
+
+  Addr MallocLarge(Env& env, std::uint64_t size) {
+    env.Work(8);
+    const std::uint64_t bytes = AlignUp(size, kSmallPageBytes) + kSmallPageBytes;
+    const Addr region = provider_.Map(env, bytes, PageKind::kSmall4K);
+    if (region == kNullAddr) {
+      ++stats_.oom_failures;
+      return kNullAddr;
+    }
+    ++stats_.mmap_calls;
+    const Addr addr = region + kSmallPageBytes;
+    env.Store<std::uint64_t>(addr - 8, bytes | kLargeFlag);
+    stats_.bytes_live += bytes - kSmallPageBytes;
+    return addr;
+  }
+
+  ServerHeapConfig config_;
+  SizeClasses classes_;
+  PageProvider provider_;
+  std::unique_ptr<PageProvider> meta_provider_;
+  Addr meta_base_ = 0;
+  SimLock lock_;
+  AllocatorStats stats_;
+};
+
+}  // namespace
+
+std::unique_ptr<ServerHeap> MakeServerHeap(Machine& machine, bool segregated, Addr heap_base,
+                                           Addr meta_base, const ServerHeapConfig& config) {
+  if (segregated) {
+    return std::make_unique<SegregatedHeap>(machine, heap_base, meta_base, config);
+  }
+  return std::make_unique<AggregatedHeap>(machine, heap_base, meta_base, config);
+}
+
+}  // namespace ngx

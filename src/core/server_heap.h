@@ -1,0 +1,49 @@
+// Single-owner heaps used by the NextGen-Malloc server core.
+//
+// Both variants implement the same interface; they differ exactly along
+// Figure 2's axis:
+//  * SegregatedHeap -- block bookkeeping in dense side tables (16-bit span
+//    classes, address stacks) far from user data.
+//  * AggregatedHeap -- intrusive free lists and per-block headers inline
+//    with user data.
+// An optional lock models Section 3.1.3's removable atomics.
+#ifndef NGX_SRC_CORE_SERVER_HEAP_H_
+#define NGX_SRC_CORE_SERVER_HEAP_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/alloc/allocator.h"
+#include "src/alloc/page_provider.h"
+#include "src/alloc/sim_lock.h"
+#include "src/alloc/size_classes.h"
+
+namespace ngx {
+
+class ServerHeap {
+ public:
+  virtual ~ServerHeap() = default;
+  virtual std::string_view name() const = 0;
+  virtual Addr Malloc(Env& env, std::uint64_t size) = 0;
+  virtual void Free(Env& env, Addr addr) = 0;
+  virtual std::uint64_t UsableSize(Env& env, Addr addr) = 0;
+  virtual AllocatorStats stats() const = 0;
+};
+
+struct ServerHeapConfig {
+  bool use_lock = false;  // keep the 2-atomics-per-op lock (ablation)
+  bool hugepage_spans = true;
+  std::uint64_t span_bytes = 128 * 1024;
+  std::uint64_t small_max = 32 * 1024;
+  std::uint32_t stack_capacity = 8192;  // per-class free stack (segregated)
+};
+
+// Factory: `segregated` selects the layout. `heap_base`/`meta_base` carve
+// disjoint windows.
+std::unique_ptr<ServerHeap> MakeServerHeap(Machine& machine, bool segregated, Addr heap_base,
+                                           Addr meta_base, const ServerHeapConfig& config);
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_CORE_SERVER_HEAP_H_

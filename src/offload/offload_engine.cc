@@ -1,0 +1,94 @@
+#include "src/offload/offload_engine.h"
+
+#include <cassert>
+
+namespace ngx {
+
+OffloadEngine::OffloadEngine(Machine& machine, int server_core, Addr channel_base,
+                             std::uint32_t ring_capacity)
+    : machine_(&machine), server_core_(server_core) {
+  assert(server_core >= 0 && server_core < machine.num_cores());
+  assert(ring_capacity > 0 && ring_capacity <= kMaxRingCapacity);
+  const int n = machine.num_cores();
+  channels_.reserve(n);
+  for (int c = 0; c < n; ++c) {
+    channels_.emplace_back(channel_base + kChannelStride * static_cast<std::uint64_t>(c),
+                           ring_capacity);
+  }
+  seq_.assign(n, 0);
+}
+
+void OffloadEngine::DrainRing(Env& server_env, int client) {
+  channels_[client].ServerDrainRing(server_env, [&](std::uint64_t addr) {
+    server_->HandleRequest(server_env, client, OffloadOp::kFree, addr);
+    ++stats_.async_ops;
+  });
+}
+
+std::uint64_t OffloadEngine::SyncRequest(Env& client_env, OffloadOp op, std::uint64_t arg) {
+  assert(server_ != nullptr);
+  const int client = client_env.core_id();
+  assert(client != server_core_ && "the server core cannot issue offload requests");
+  Channel& ch = channels_[client];
+  const std::uint64_t seq = ++seq_[client];
+
+  // Client publishes the request.
+  ch.ClientSend(client_env, seq, op, arg);
+  const std::uint64_t send_time = client_env.now();
+
+  // The spinning server drains pending async frees during its idle window,
+  // starting from its own clock: free processing that fits before the
+  // request arrives never delays the malloc (Section 3.1.2's asynchronous
+  // free phase). The request itself is then served no earlier than the send
+  // and no earlier than the server finishes that backlog.
+  Core& server = machine_->core(server_core_);
+  Env server_env = ServerEnv();
+  DrainRing(server_env, client);
+  if (server.now() > send_time) {
+    ++stats_.server_busy_waits;
+  }
+  server.AdvanceTo(send_time);
+  server_env.Work(poll_work_);
+
+  const Channel::Request req = ch.ServerReadRequest(server_env);
+  assert(req.seq == seq);
+  const std::uint64_t result = server_->HandleRequest(server_env, client, req.op, req.arg);
+  ch.ServerRespond(server_env, seq, result);
+
+  // Client spins until the response is visible, then reads it.
+  machine_->core(client).AdvanceTo(server_env.now());
+  const std::uint64_t out = ch.ClientReceive(client_env, seq);
+  ++stats_.sync_requests;
+  return out;
+}
+
+void OffloadEngine::AsyncRequest(Env& client_env, OffloadOp op, std::uint64_t arg0) {
+  assert(server_ != nullptr);
+  assert(op == OffloadOp::kFree && "only frees are fire-and-forget");
+  const int client = client_env.core_id();
+  Channel& ch = channels_[client];
+  if (ch.RingSpace(client_env) == 0) {
+    // Backpressure: the server must drain before the client can continue.
+    ++stats_.ring_full_stalls;
+    Core& server = machine_->core(server_core_);
+    server.AdvanceTo(client_env.now());
+    Env server_env = ServerEnv();
+    server_env.Work(poll_work_);
+    DrainRing(server_env, client);
+    machine_->core(client).AdvanceTo(server_env.now());
+  }
+  ch.RingPush(client_env, arg0);
+}
+
+void OffloadEngine::DrainAll() {
+  Env server_env = ServerEnv();
+  for (int c = 0; c < machine_->num_cores(); ++c) {
+    if (c == server_core_) {
+      continue;
+    }
+    server_env.Work(poll_work_);
+    DrainRing(server_env, c);
+  }
+}
+
+}  // namespace ngx

@@ -1,0 +1,79 @@
+// OffloadEngine: the allocator's "own room" -- a dedicated core that serves
+// malloc/free requests from application cores over simulated shared memory.
+//
+// Timing model: requests are serialized on the server core's clock. A sync
+// request starts service at max(server-free-time, client-send-time); the
+// client then waits until the response is published. Async frees ride a
+// per-client ring and are drained whenever the server runs (before each sync
+// request and on explicit Drain), so clients only stall on a full ring.
+// Queueing among multiple clients emerges from the shared server clock
+// (Section 3.1.1's granularity concern made concrete).
+#ifndef NGX_SRC_OFFLOAD_OFFLOAD_ENGINE_H_
+#define NGX_SRC_OFFLOAD_OFFLOAD_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/offload/channel.h"
+
+namespace ngx {
+
+// Implemented by the server-side allocator (NgxAllocator's heap).
+class OffloadServer {
+ public:
+  virtual ~OffloadServer() = default;
+  // Handles one request on the server core. For kMallocBatch the engine
+  // passes the client id in `client`.
+  virtual std::uint64_t HandleRequest(Env& server_env, int client, OffloadOp op,
+                                      std::uint64_t arg) = 0;
+};
+
+struct OffloadEngineStats {
+  std::uint64_t sync_requests = 0;
+  std::uint64_t async_ops = 0;
+  std::uint64_t ring_full_stalls = 0;
+  std::uint64_t server_busy_waits = 0;  // requests that queued behind the server
+};
+
+class OffloadEngine {
+ public:
+  // `channel_base` must point at num_clients * kChannelStride bytes of
+  // simulated memory reserved for mailboxes (one block per core).
+  OffloadEngine(Machine& machine, int server_core, Addr channel_base,
+                std::uint32_t ring_capacity);
+
+  void set_server(OffloadServer* server) { server_ = server; }
+  int server_core() const { return server_core_; }
+  Machine& machine() { return *machine_; }
+
+  // Round-trip request from `client_env`'s core. Returns the result word.
+  std::uint64_t SyncRequest(Env& client_env, OffloadOp op, std::uint64_t arg);
+
+  // Fire-and-forget (used for free). Stalls only when the ring is full.
+  void AsyncRequest(Env& client_env, OffloadOp op, std::uint64_t arg0);
+
+  // Processes every pending async entry of every client on the server core.
+  void DrainAll();
+
+  const OffloadEngineStats& stats() const { return stats_; }
+
+  // Per-request instruction overhead of the server's poll loop (dispatch,
+  // flag checks). Exposed for the ablation benches.
+  void set_poll_work(std::uint32_t n) { poll_work_ = n; }
+
+ private:
+  Env ServerEnv() { return Env(*machine_, server_core_); }
+  void DrainRing(Env& server_env, int client);
+
+  Machine* machine_;
+  int server_core_;
+  OffloadServer* server_ = nullptr;
+  std::uint32_t poll_work_ = 6;
+  std::vector<Channel> channels_;
+  std::vector<std::uint64_t> seq_;  // per-client request sequence numbers
+  OffloadEngineStats stats_;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_OFFLOAD_OFFLOAD_ENGINE_H_

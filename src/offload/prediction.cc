@@ -1,0 +1,38 @@
+#include "src/offload/prediction.h"
+
+#include <algorithm>
+
+namespace ngx {
+
+AllocationPredictor::AllocationPredictor(int num_clients, std::uint32_t num_classes,
+                                         std::uint32_t max_batch)
+    : num_classes_(num_classes),
+      max_batch_(max_batch),
+      state_(static_cast<std::size_t>(num_clients) * num_classes),
+      last_cls_(static_cast<std::size_t>(num_clients), ~0u) {}
+
+std::uint32_t AllocationPredictor::OnMallocMiss(int client, std::uint32_t cls) {
+  State& s = At(client, cls);
+  if (last_cls_[static_cast<std::size_t>(client)] == cls) {
+    ++s.run_len;
+  } else {
+    // Decay other-class confidence slowly rather than resetting: real
+    // allocation streams interleave a few classes.
+    s.run_len += s.run_len > 0 ? 1 : 0;
+  }
+  last_cls_[static_cast<std::size_t>(client)] = cls;
+
+  if (s.run_len < 2) {
+    return 0;
+  }
+  // Batch grows with confidence: 4, 8, ... up to max_batch.
+  const std::uint32_t batch = std::min<std::uint32_t>(max_batch_, 1u << std::min<std::uint32_t>(
+                                                                      s.run_len, 31));
+  return batch >= 4 ? batch : 0;
+}
+
+std::uint32_t AllocationPredictor::RunLength(int client, std::uint32_t cls) const {
+  return At(client, cls).run_len;
+}
+
+}  // namespace ngx

@@ -1,0 +1,115 @@
+#include "src/sim/cache.h"
+
+#include <cassert>
+
+namespace ngx {
+
+Cache::Cache(const CacheConfig& config, std::string name)
+    : config_(config),
+      name_(std::move(name)),
+      sets_(static_cast<std::uint32_t>(config.size_bytes / config.line_bytes / config.ways)),
+      lines_(static_cast<std::size_t>(sets_) * config.ways),
+      repl_(config.replacement, sets_, config.ways) {
+  assert(IsPow2(sets_) && "cache set count must be a power of two");
+  assert(IsPow2(config.line_bytes));
+}
+
+Cache::Line* Cache::FindLine(Addr line) {
+  const std::uint32_t set = SetOf(line);
+  const Addr tag = TagOf(line);
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      return &base[w];
+    }
+  }
+  return nullptr;
+}
+
+const Cache::Line* Cache::FindLine(Addr line) const {
+  return const_cast<Cache*>(this)->FindLine(line);
+}
+
+bool Cache::Access(Addr line, bool mark_dirty) {
+  Line* l = FindLine(line);
+  if (l == nullptr) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  if (mark_dirty) {
+    l->dirty = true;
+  }
+  const std::uint32_t set = SetOf(line);
+  const std::uint32_t way = static_cast<std::uint32_t>(
+      l - &lines_[static_cast<std::size_t>(set) * config_.ways]);
+  repl_.OnAccess(set, way);
+  return true;
+}
+
+bool Cache::Contains(Addr line) const { return FindLine(line) != nullptr; }
+
+Cache::Eviction Cache::Insert(Addr line, bool dirty) {
+  assert(FindLine(line) == nullptr && "inserting a line that is already present");
+  const std::uint32_t set = SetOf(line);
+  Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+  std::uint32_t way = config_.ways;
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    if (!base[w].valid) {
+      way = w;
+      break;
+    }
+  }
+  Eviction ev;
+  if (way == config_.ways) {
+    way = repl_.Victim(set);
+    ev.valid = true;
+    ev.line = LineAddr(base[way].tag, set);
+    ev.dirty = base[way].dirty;
+  }
+  base[way] = Line{TagOf(line), true, dirty};
+  repl_.OnInsert(set, way);
+  return ev;
+}
+
+bool Cache::Invalidate(Addr line, bool* was_dirty) {
+  Line* l = FindLine(line);
+  if (l == nullptr) {
+    return false;
+  }
+  if (was_dirty != nullptr) {
+    *was_dirty = l->dirty;
+  }
+  l->valid = false;
+  l->dirty = false;
+  return true;
+}
+
+void Cache::CleanLine(Addr line) {
+  Line* l = FindLine(line);
+  if (l != nullptr) {
+    l->dirty = false;
+  }
+}
+
+void Cache::MarkDirty(Addr line) {
+  Line* l = FindLine(line);
+  if (l != nullptr) {
+    l->dirty = true;
+  }
+}
+
+std::vector<Addr> Cache::ValidLines() const {
+  std::vector<Addr> out;
+  for (std::uint32_t set = 0; set < sets_; ++set) {
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+      const Line& l = lines_[static_cast<std::size_t>(set) * config_.ways + w];
+      if (l.valid) {
+        out.push_back(LineAddr(l.tag, set));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ngx

@@ -1,0 +1,97 @@
+// One set-associative, write-back, write-allocate cache level.
+//
+// The cache tracks tags, dirtiness and replacement metadata only; data lives
+// in SimMemory. Coherence state across cores is tracked by the Machine's
+// directory, not here.
+#ifndef NGX_SRC_SIM_CACHE_H_
+#define NGX_SRC_SIM_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/replacement.h"
+#include "src/sim/types.h"
+
+namespace ngx {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t ways = 8;
+  std::uint32_t line_bytes = kCacheLineBytes;
+  ReplacementKind replacement = ReplacementKind::kLru;
+  std::uint32_t hit_latency = 4;  // cycles charged when this level hits
+};
+
+class Cache {
+ public:
+  Cache(const CacheConfig& config, std::string name);
+
+  // True if `line` (line-aligned address) is present; updates recency and, if
+  // `mark_dirty`, the dirty bit.
+  bool Access(Addr line, bool mark_dirty);
+
+  // Presence probe with no metadata side effects.
+  bool Contains(Addr line) const;
+
+  struct Eviction {
+    bool valid = false;    // an eviction happened
+    Addr line = 0;         // line-aligned address evicted
+    bool dirty = false;    // needed write-back
+  };
+
+  // Inserts `line`, evicting if the set is full. The caller handles the
+  // eviction (write-back, directory update, back-invalidation of inner
+  // levels).
+  Eviction Insert(Addr line, bool dirty);
+
+  // Removes `line` if present. Returns true if it was present; *was_dirty
+  // reports its dirty bit.
+  bool Invalidate(Addr line, bool* was_dirty);
+
+  // Clears the dirty bit (after a write-back triggered by a remote read).
+  void CleanLine(Addr line);
+
+  // Sets the dirty bit without touching hit/miss statistics (inner-level
+  // write-back into this level).
+  void MarkDirty(Addr line);
+
+  std::uint32_t num_sets() const { return sets_; }
+  std::uint32_t ways() const { return config_.ways; }
+  const CacheConfig& config() const { return config_; }
+  const std::string& name() const { return name_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+  // Enumerates all valid lines (test support).
+  std::vector<Addr> ValidLines() const;
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::uint32_t SetOf(Addr line) const {
+    return static_cast<std::uint32_t>((line / config_.line_bytes) & (sets_ - 1));
+  }
+  Addr TagOf(Addr line) const { return line / config_.line_bytes / sets_; }
+  Addr LineAddr(Addr tag, std::uint32_t set) const {
+    return (tag * sets_ + set) * config_.line_bytes;
+  }
+  Line* FindLine(Addr line);
+  const Line* FindLine(Addr line) const;
+
+  CacheConfig config_;
+  std::string name_;
+  std::uint32_t sets_;
+  std::vector<Line> lines_;  // sets_ x ways
+  ReplacementState repl_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_SIM_CACHE_H_

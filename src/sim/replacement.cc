@@ -1,0 +1,39 @@
+#include "src/sim/replacement.h"
+
+namespace ngx {
+
+ReplacementState::ReplacementState(ReplacementKind kind, std::uint32_t sets, std::uint32_t ways,
+                                   std::uint64_t seed)
+    : kind_(kind), ways_(ways), rng_(seed | 1), stamps_(static_cast<std::size_t>(sets) * ways, 0) {}
+
+void ReplacementState::OnAccess(std::uint32_t set, std::uint32_t way) {
+  if (kind_ == ReplacementKind::kLru) {
+    Stamp(set, way) = ++tick_;
+  }
+}
+
+void ReplacementState::OnInsert(std::uint32_t set, std::uint32_t way) {
+  if (kind_ != ReplacementKind::kRandom) {
+    Stamp(set, way) = ++tick_;
+  }
+}
+
+std::uint32_t ReplacementState::Victim(std::uint32_t set) {
+  if (kind_ == ReplacementKind::kRandom) {
+    rng_ ^= rng_ << 13;
+    rng_ ^= rng_ >> 7;
+    rng_ ^= rng_ << 17;
+    return static_cast<std::uint32_t>(rng_ % ways_);
+  }
+  std::uint32_t victim = 0;
+  std::uint64_t oldest = Stamp(set, 0);
+  for (std::uint32_t w = 1; w < ways_; ++w) {
+    if (Stamp(set, w) < oldest) {
+      oldest = Stamp(set, w);
+      victim = w;
+    }
+  }
+  return victim;
+}
+
+}  // namespace ngx

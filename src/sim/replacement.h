@@ -1,0 +1,46 @@
+// Replacement policies for set-associative structures (caches and TLBs).
+#ifndef NGX_SRC_SIM_REPLACEMENT_H_
+#define NGX_SRC_SIM_REPLACEMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ngx {
+
+enum class ReplacementKind {
+  kLru,
+  kFifo,
+  kRandom,  // deterministic xorshift stream, seeded per structure
+};
+
+// Tracks recency/insertion metadata for `sets` x `ways` entries and picks
+// victims. The owning structure calls OnInsert/OnAccess and Victim.
+class ReplacementState {
+ public:
+  ReplacementState(ReplacementKind kind, std::uint32_t sets, std::uint32_t ways,
+                   std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  void OnAccess(std::uint32_t set, std::uint32_t way);
+  void OnInsert(std::uint32_t set, std::uint32_t way);
+
+  // Way to evict in `set`, assuming all ways are valid. The caller prefers
+  // invalid ways itself before asking.
+  std::uint32_t Victim(std::uint32_t set);
+
+  ReplacementKind kind() const { return kind_; }
+
+ private:
+  std::uint64_t& Stamp(std::uint32_t set, std::uint32_t way) {
+    return stamps_[static_cast<std::size_t>(set) * ways_ + way];
+  }
+
+  ReplacementKind kind_;
+  std::uint32_t ways_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t rng_;
+  std::vector<std::uint64_t> stamps_;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_SIM_REPLACEMENT_H_

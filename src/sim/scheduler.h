@@ -1,0 +1,38 @@
+// Deterministic virtual-time scheduler.
+//
+// Simulated threads are pinned 1:1 to cores. The scheduler repeatedly steps
+// the unfinished thread whose core clock is smallest (ties broken by thread
+// index), so multi-threaded runs interleave at operation granularity and are
+// bit-reproducible.
+#ifndef NGX_SRC_SIM_SCHEDULER_H_
+#define NGX_SRC_SIM_SCHEDULER_H_
+
+#include <vector>
+
+#include "src/sim/env.h"
+
+namespace ngx {
+
+class SimThread {
+ public:
+  virtual ~SimThread() = default;
+
+  // Runs one operation (a malloc, a free, a burst of user work). Returns
+  // false when the thread has finished.
+  virtual bool Step(Env& env) = 0;
+
+  // Core this thread is pinned to.
+  virtual int core_id() const = 0;
+};
+
+class Scheduler {
+ public:
+  // Runs all threads to completion. `max_steps` guards against livelock in
+  // tests (0 = unlimited).
+  static void Run(Machine& machine, const std::vector<SimThread*>& threads,
+                  std::uint64_t max_steps = 0);
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_SIM_SCHEDULER_H_

@@ -1,0 +1,71 @@
+#include "src/sim/sim_memory.h"
+
+#include <algorithm>
+
+namespace ngx {
+
+const std::byte* SimMemory::PageForRead(std::uint64_t page_index) const {
+  auto it = pages_.find(page_index);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::byte* SimMemory::PageForWrite(std::uint64_t page_index) {
+  auto& slot = pages_[page_index];
+  if (!slot) {
+    slot = std::make_unique<std::byte[]>(kSmallPageBytes);
+    std::memset(slot.get(), 0, kSmallPageBytes);
+  }
+  return slot.get();
+}
+
+void SimMemory::ReadBytes(Addr a, void* dst, std::size_t n) const {
+  auto* out = static_cast<std::byte*>(dst);
+  while (n > 0) {
+    const std::uint64_t page = a >> kShift;
+    const std::uint64_t off = a & (kSmallPageBytes - 1);
+    const std::size_t chunk = std::min<std::size_t>(n, kSmallPageBytes - off);
+    const std::byte* p = PageForRead(page);
+    if (p == nullptr) {
+      std::memset(out, 0, chunk);
+    } else {
+      std::memcpy(out, p + off, chunk);
+    }
+    a += chunk;
+    out += chunk;
+    n -= chunk;
+  }
+}
+
+void SimMemory::WriteBytes(Addr a, const void* src, std::size_t n) {
+  const auto* in = static_cast<const std::byte*>(src);
+  while (n > 0) {
+    const std::uint64_t page = a >> kShift;
+    const std::uint64_t off = a & (kSmallPageBytes - 1);
+    const std::size_t chunk = std::min<std::size_t>(n, kSmallPageBytes - off);
+    std::memcpy(PageForWrite(page) + off, in, chunk);
+    a += chunk;
+    in += chunk;
+    n -= chunk;
+  }
+}
+
+void SimMemory::Fill(Addr a, std::size_t n, std::uint8_t value) {
+  while (n > 0) {
+    const std::uint64_t page = a >> kShift;
+    const std::uint64_t off = a & (kSmallPageBytes - 1);
+    const std::size_t chunk = std::min<std::size_t>(n, kSmallPageBytes - off);
+    std::memset(PageForWrite(page) + off, value, chunk);
+    a += chunk;
+    n -= chunk;
+  }
+}
+
+void SimMemory::Discard(Addr a, std::size_t n) {
+  const std::uint64_t first = a >> kShift;
+  const std::uint64_t last = (a + n - 1) >> kShift;
+  for (std::uint64_t p = first; p <= last; ++p) {
+    pages_.erase(p);
+  }
+}
+
+}  // namespace ngx

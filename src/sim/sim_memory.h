@@ -1,0 +1,62 @@
+// Sparse backing store for the simulated 64-bit address space.
+//
+// SimMemory holds *data only*; it charges no time and updates no counters.
+// Timed accesses go through Env/Machine, which consult the caches and then
+// read or write the bytes here. Unmapped pages read as zeroes (anonymous-mmap
+// semantics) and are materialized lazily on first write.
+#ifndef NGX_SRC_SIM_SIM_MEMORY_H_
+#define NGX_SRC_SIM_SIM_MEMORY_H_
+
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "src/sim/types.h"
+
+namespace ngx {
+
+class SimMemory {
+ public:
+  SimMemory() = default;
+  SimMemory(const SimMemory&) = delete;
+  SimMemory& operator=(const SimMemory&) = delete;
+
+  // Typed accessors. T must be trivially copyable. Accesses may cross page
+  // boundaries.
+  template <typename T>
+  T Read(Addr a) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v{};
+    ReadBytes(a, &v, sizeof(T));
+    return v;
+  }
+
+  template <typename T>
+  void Write(Addr a, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteBytes(a, &v, sizeof(T));
+  }
+
+  void ReadBytes(Addr a, void* dst, std::size_t n) const;
+  void WriteBytes(Addr a, const void* src, std::size_t n);
+  void Fill(Addr a, std::size_t n, std::uint8_t value);
+
+  // Drops the backing page(s) covering [a, a+n); subsequent reads see zeroes.
+  // Used by the simulated munmap/decommit paths.
+  void Discard(Addr a, std::size_t n);
+
+  // Number of host-materialized 4 KiB pages (a proxy for resident set size).
+  std::size_t MappedPageCount() const { return pages_.size(); }
+
+ private:
+  static constexpr std::uint64_t kShift = 12;  // 4 KiB backing granules
+
+  std::byte* PageForWrite(std::uint64_t page_index);
+  const std::byte* PageForRead(std::uint64_t page_index) const;
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<std::byte[]>> pages_;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_SIM_SIM_MEMORY_H_

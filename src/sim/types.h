@@ -1,0 +1,50 @@
+// Core address-space types and constants shared by the whole simulator.
+#ifndef NGX_SRC_SIM_TYPES_H_
+#define NGX_SRC_SIM_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ngx {
+
+// A simulated 64-bit virtual address. The simulated address space is totally
+// disjoint from host memory; data is backed by SimMemory.
+using Addr = std::uint64_t;
+
+inline constexpr Addr kNullAddr = 0;
+
+inline constexpr std::uint64_t kCacheLineBytes = 64;
+inline constexpr std::uint64_t kSmallPageBytes = 4096;            // 4 KiB
+inline constexpr std::uint64_t kHugePageBytes = 2ull * 1024 * 1024;  // 2 MiB
+
+// Kind of a memory access as seen by the machine model.
+enum class AccessType {
+  kLoad,
+  kStore,
+  kAtomicRmw,  // read-modify-write; write semantics + serialization cost
+};
+
+// Page size used to back a mapped region (affects TLB reach).
+enum class PageKind {
+  kSmall4K,
+  kHuge2M,
+};
+
+constexpr std::uint64_t PageBytes(PageKind kind) {
+  return kind == PageKind::kHuge2M ? kHugePageBytes : kSmallPageBytes;
+}
+
+constexpr Addr LineBase(Addr a) { return a & ~(kCacheLineBytes - 1); }
+constexpr Addr PageBase(Addr a) { return a & ~(kSmallPageBytes - 1); }
+
+constexpr bool IsPow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+constexpr std::uint64_t AlignUp(std::uint64_t v, std::uint64_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+
+constexpr std::uint64_t AlignDown(std::uint64_t v, std::uint64_t a) { return v & ~(a - 1); }
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_SIM_TYPES_H_

@@ -1,0 +1,22 @@
+// Scoped allocator-call wrappers used by every workload, so allocator time
+// is attributed to PmuCounters::alloc_* exactly.
+#ifndef NGX_SRC_WORKLOAD_ALLOC_OPS_H_
+#define NGX_SRC_WORKLOAD_ALLOC_OPS_H_
+
+#include "src/alloc/allocator.h"
+
+namespace ngx {
+
+inline Addr TimedMalloc(Env& env, Allocator& alloc, std::uint64_t size) {
+  AllocScope scope(env);
+  return alloc.Malloc(env, size);
+}
+
+inline void TimedFree(Env& env, Allocator& alloc, Addr addr) {
+  AllocScope scope(env);
+  alloc.Free(env, addr);
+}
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_WORKLOAD_ALLOC_OPS_H_

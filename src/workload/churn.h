@@ -1,0 +1,56 @@
+// Steady-state workloads: Churn (random replacement within a live working
+// set, per-thread) and LarsonLike (server-style: slots shared across
+// threads, so frees frequently target blocks another thread allocated).
+#ifndef NGX_SRC_WORKLOAD_CHURN_H_
+#define NGX_SRC_WORKLOAD_CHURN_H_
+
+#include <memory>
+
+#include "src/workload/size_dist.h"
+#include "src/workload/workload.h"
+
+namespace ngx {
+
+struct ChurnConfig {
+  std::uint32_t live_blocks = 2000;  // per-thread working set
+  std::uint32_t ops = 20000;         // replacements per thread
+  std::uint64_t min_size = 16;
+  std::uint64_t max_size = 1024;
+  std::uint32_t touch_bytes = 48;
+};
+
+class Churn : public Workload {
+ public:
+  explicit Churn(const ChurnConfig& config = {}) : config_(config) {}
+  std::string_view name() const override { return "churn"; }
+  std::vector<std::unique_ptr<SimThread>> MakeThreads(Machine& machine, Allocator& alloc,
+                                                      const std::vector<int>& cores,
+                                                      std::uint64_t seed) override;
+
+ private:
+  ChurnConfig config_;
+};
+
+struct LarsonConfig {
+  std::uint32_t slots_per_thread = 1024;  // global array = slots * threads
+  std::uint32_t ops = 20000;              // replacements per thread
+  std::uint64_t min_size = 16;
+  std::uint64_t max_size = 512;
+  std::uint32_t touch_bytes = 32;
+};
+
+class LarsonLike : public Workload {
+ public:
+  explicit LarsonLike(const LarsonConfig& config = {}) : config_(config) {}
+  std::string_view name() const override { return "larson-like"; }
+  std::vector<std::unique_ptr<SimThread>> MakeThreads(Machine& machine, Allocator& alloc,
+                                                      const std::vector<int>& cores,
+                                                      std::uint64_t seed) override;
+
+ private:
+  LarsonConfig config_;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_WORKLOAD_CHURN_H_

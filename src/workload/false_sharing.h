@@ -1,0 +1,51 @@
+// mimalloc-bench's false-sharing microbenchmarks.
+//
+// CacheThrash (active false sharing): every thread repeatedly allocates a
+// sub-line object, writes it many times, and frees it. Allocators that pack
+// concurrent threads' objects into the same cache line induce line
+// ping-pong.
+//
+// CacheScratch (passive false sharing): one thread allocates all objects and
+// hands them out; each thread then read-modify-writes its object and
+// periodically re-allocates locally. Allocators that return a thread's
+// blocks to a shared pool re-create the sharing.
+#ifndef NGX_SRC_WORKLOAD_FALSE_SHARING_H_
+#define NGX_SRC_WORKLOAD_FALSE_SHARING_H_
+
+#include "src/workload/workload.h"
+
+namespace ngx {
+
+struct FalseSharingConfig {
+  std::uint32_t iterations = 4000;   // outer loops per thread
+  std::uint32_t writes_per_iter = 32;
+  std::uint64_t object_bytes = 8;    // deliberately sub-line
+};
+
+class CacheThrash : public Workload {
+ public:
+  explicit CacheThrash(const FalseSharingConfig& config = {}) : config_(config) {}
+  std::string_view name() const override { return "cache-thrash"; }
+  std::vector<std::unique_ptr<SimThread>> MakeThreads(Machine& machine, Allocator& alloc,
+                                                      const std::vector<int>& cores,
+                                                      std::uint64_t seed) override;
+
+ private:
+  FalseSharingConfig config_;
+};
+
+class CacheScratch : public Workload {
+ public:
+  explicit CacheScratch(const FalseSharingConfig& config = {}) : config_(config) {}
+  std::string_view name() const override { return "cache-scratch"; }
+  std::vector<std::unique_ptr<SimThread>> MakeThreads(Machine& machine, Allocator& alloc,
+                                                      const std::vector<int>& cores,
+                                                      std::uint64_t seed) override;
+
+ private:
+  FalseSharingConfig config_;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_WORKLOAD_FALSE_SHARING_H_

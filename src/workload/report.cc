@@ -1,0 +1,76 @@
+#include "src/workload/report.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace ngx {
+
+TextTable::TextTable(std::vector<std::string> header) { rows_.push_back(std::move(header)); }
+
+void TextTable::AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string TextTable::ToString() const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (widths.size() < row.size()) {
+      widths.resize(row.size(), 0);
+    }
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+      if (i > 0) {
+        os << "  ";
+      }
+      const std::string& cell = rows_[r][i];
+      os << cell << std::string(widths[i] - cell.size(), ' ');
+    }
+    os << "\n";
+    if (r == 0) {
+      std::size_t total = 0;
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        total += widths[i] + (i > 0 ? 2 : 0);
+      }
+      os << std::string(total, '-') << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string FormatSci(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*E", digits, v);
+  return buf;
+}
+
+std::string FormatFixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string FormatRatio(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fx", digits, v);
+  return buf;
+}
+
+std::string FormatInt(std::uint64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  out.reserve(raw.size() + raw.size() / 3);
+  const std::size_t first = raw.size() % 3 == 0 ? 3 : raw.size() % 3;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (i != 0 && (i - first) % 3 == 0 && i >= first) {
+      out.push_back(',');
+    }
+    out.push_back(raw[i]);
+  }
+  return out;
+}
+
+}  // namespace ngx

@@ -1,0 +1,33 @@
+// ASCII table / number formatting shared by every bench binary, so the
+// reproduction output visually matches the paper's tables.
+#ifndef NGX_SRC_WORKLOAD_REPORT_H_
+#define NGX_SRC_WORKLOAD_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace ngx {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  std::string ToString() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "1.177E+12"-style scientific formatting (as in Table 1).
+std::string FormatSci(double v, int digits = 3);
+// Fixed-point with `digits` decimals.
+std::string FormatFixed(double v, int digits = 3);
+// "1.72x"-style ratio.
+std::string FormatRatio(double v, int digits = 2);
+// Integer with thousands separators (279,759,405 style).
+std::string FormatInt(std::uint64_t v);
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_WORKLOAD_REPORT_H_

@@ -1,0 +1,55 @@
+// Deterministic PRNG (xoshiro256**) and helpers. Host-side: RNG state models
+// registers, so it charges nothing; call sites add Env::Work where the real
+// program would compute.
+#ifndef NGX_SRC_WORKLOAD_RNG_H_
+#define NGX_SRC_WORKLOAD_RNG_H_
+
+#include <cstdint>
+
+namespace ngx {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed.
+    std::uint64_t x = seed + 0x9e3779b97f4a7c15ull;
+    for (auto& word : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound).
+  std::uint64_t Below(std::uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+  // Uniform in [lo, hi].
+  std::uint64_t Range(std::uint64_t lo, std::uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // True with probability num/den.
+  bool Chance(std::uint64_t num, std::uint64_t den) { return Below(den) < num; }
+
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::uint64_t s_[4];
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_WORKLOAD_RNG_H_

@@ -1,0 +1,50 @@
+#include "src/workload/runner.h"
+
+#include <cassert>
+
+namespace ngx {
+
+std::vector<int> FirstCores(int n) {
+  std::vector<int> cores(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    cores[static_cast<std::size_t>(i)] = i;
+  }
+  return cores;
+}
+
+RunResult RunWorkload(Machine& machine, Allocator& alloc, Workload& workload,
+                      const RunOptions& options) {
+  assert(!options.cores.empty());
+  auto threads = workload.MakeThreads(machine, alloc, options.cores, options.seed);
+  std::vector<SimThread*> raw;
+  raw.reserve(threads.size());
+  for (auto& t : threads) {
+    raw.push_back(t.get());
+  }
+  Scheduler::Run(machine, raw);
+
+  if (options.flush_at_end) {
+    for (const int c : options.cores) {
+      Env env(machine, c);
+      alloc.Flush(env);
+    }
+  }
+
+  RunResult result;
+  result.server_core = options.server_core;
+  result.per_core.reserve(static_cast<std::size_t>(machine.num_cores()));
+  for (int c = 0; c < machine.num_cores(); ++c) {
+    result.per_core.push_back(machine.core(c).pmu());
+  }
+  for (const int c : options.cores) {
+    result.app += machine.core(c).pmu();
+    result.wall_cycles = std::max(result.wall_cycles, machine.core(c).now());
+  }
+  if (options.server_core >= 0) {
+    result.server = machine.core(options.server_core).pmu();
+  }
+  result.alloc_stats = alloc.stats();
+  return result;
+}
+
+}  // namespace ngx

@@ -1,0 +1,43 @@
+// Binds a machine, an allocator and a workload; runs to completion and
+// collects the PMU counters the paper's tables report.
+#ifndef NGX_SRC_WORKLOAD_RUNNER_H_
+#define NGX_SRC_WORKLOAD_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/workload/workload.h"
+
+namespace ngx {
+
+struct RunResult {
+  // Counters summed over the *application* cores (what perf would report
+  // for the process; the dedicated allocator core is reported separately).
+  PmuCounters app;
+  // Wall-clock = the largest application-core cycle count.
+  std::uint64_t wall_cycles = 0;
+  std::vector<PmuCounters> per_core;
+  PmuCounters server;  // zero when no server core was designated
+  int server_core = -1;
+  AllocatorStats alloc_stats;
+
+  // Fraction of application-core cycles spent inside allocator code.
+  double MallocTimeShare() const { return app.AllocCycleShare(); }
+};
+
+struct RunOptions {
+  std::vector<int> cores;   // application cores (threads pinned 1:1)
+  std::uint64_t seed = 1;
+  int server_core = -1;     // excluded from `app` aggregation if >= 0
+  bool flush_at_end = true;
+};
+
+RunResult RunWorkload(Machine& machine, Allocator& alloc, Workload& workload,
+                      const RunOptions& options);
+
+// Convenience: cores 0..n-1.
+std::vector<int> FirstCores(int n);
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_WORKLOAD_RUNNER_H_

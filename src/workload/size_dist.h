@@ -1,0 +1,61 @@
+// Allocation-size distributions used by the workload generators.
+#ifndef NGX_SRC_WORKLOAD_SIZE_DIST_H_
+#define NGX_SRC_WORKLOAD_SIZE_DIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/workload/rng.h"
+
+namespace ngx {
+
+// A discrete mixture of (weight, lo, hi) uniform buckets.
+class SizeDist {
+ public:
+  struct Bucket {
+    std::uint32_t weight;
+    std::uint64_t lo;
+    std::uint64_t hi;
+  };
+
+  explicit SizeDist(std::vector<Bucket> buckets) : buckets_(std::move(buckets)) {
+    for (const Bucket& b : buckets_) {
+      total_weight_ += b.weight;
+    }
+  }
+
+  std::uint64_t Sample(Rng& rng) const {
+    std::uint64_t pick = rng.Below(total_weight_);
+    for (const Bucket& b : buckets_) {
+      if (pick < b.weight) {
+        return rng.Range(b.lo, b.hi);
+      }
+      pick -= b.weight;
+    }
+    return buckets_.back().hi;
+  }
+
+  // XML-DOM-like node/string mix observed for xalancbmk-class workloads:
+  // dominated by small nodes and short strings, with a tail of buffers.
+  static SizeDist XalancNodes() {
+    return SizeDist({{60, 32, 64}, {30, 64, 128}, {10, 128, 256}});
+  }
+  static SizeDist XalancStrings() {
+    return SizeDist({{75, 16, 48}, {20, 48, 128}, {5, 128, 512}});
+  }
+
+  // Lever & Boreham's xmalloc uses small fixed-ish blocks.
+  static SizeDist XmallocBlocks() { return SizeDist({{100, 64, 256}}); }
+
+  static SizeDist Uniform(std::uint64_t lo, std::uint64_t hi) {
+    return SizeDist({{100, lo, hi}});
+  }
+
+ private:
+  std::vector<Bucket> buckets_;
+  std::uint64_t total_weight_ = 0;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_WORKLOAD_SIZE_DIST_H_

@@ -1,0 +1,151 @@
+#include "src/workload/trace.h"
+
+#include <istream>
+#include <memory>
+#include <ostream>
+
+#include "src/workload/alloc_ops.h"
+
+namespace ngx {
+
+void Trace::Save(std::ostream& os) const {
+  os << "ngxtrace 1 " << num_threads << " " << ops.size() << "\n";
+  for (const TraceOp& op : ops) {
+    if (op.kind == TraceOp::Kind::kMalloc) {
+      os << "m " << op.thread << " " << op.index << " " << op.size << "\n";
+    } else {
+      os << "f " << op.thread << " " << op.index << "\n";
+    }
+  }
+}
+
+Trace Trace::Load(std::istream& is) {
+  Trace t;
+  std::string magic;
+  int version = 0;
+  std::size_t count = 0;
+  is >> magic >> version >> t.num_threads >> count;
+  t.ops.reserve(count);
+  char kind = 0;
+  while (is >> kind) {
+    TraceOp op;
+    if (kind == 'm') {
+      op.kind = TraceOp::Kind::kMalloc;
+      is >> op.thread >> op.index >> op.size;
+    } else {
+      op.kind = TraceOp::Kind::kFree;
+      is >> op.thread >> op.index;
+    }
+    t.ops.push_back(op);
+  }
+  return t;
+}
+
+Addr TraceRecordingAllocator::Malloc(Env& env, std::uint64_t size) {
+  const Addr addr = inner_->Malloc(env, size);
+  if (addr != kNullAddr) {
+    const std::uint64_t index = next_index_++;
+    live_[addr] = index;
+    trace_.ops.push_back(TraceOp{TraceOp::Kind::kMalloc,
+                                 static_cast<std::uint32_t>(env.core_id()), index, size});
+  }
+  return addr;
+}
+
+void TraceRecordingAllocator::Free(Env& env, Addr addr) {
+  auto it = live_.find(addr);
+  if (it != live_.end()) {
+    trace_.ops.push_back(TraceOp{TraceOp::Kind::kFree,
+                                 static_cast<std::uint32_t>(env.core_id()), it->second, 0});
+    live_.erase(it);
+  }
+  inner_->Free(env, addr);
+}
+
+Trace TraceRecordingAllocator::TakeTrace() {
+  Trace out = std::move(trace_);
+  trace_ = Trace{};
+  live_.clear();
+  next_index_ = 0;
+  return out;
+}
+
+namespace {
+
+struct ReplayShared {
+  std::unordered_map<std::uint64_t, Addr> blocks;  // trace index -> live addr
+};
+
+class ReplayThread : public SimThread {
+ public:
+  ReplayThread(std::vector<TraceOp> ops, Allocator& alloc, int core, std::uint32_t touch_bytes,
+               std::shared_ptr<ReplayShared> shared)
+      : ops_(std::move(ops)),
+        alloc_(&alloc),
+        core_(core),
+        touch_bytes_(touch_bytes),
+        shared_(std::move(shared)) {}
+
+  int core_id() const override { return core_; }
+
+  bool Step(Env& env) override {
+    std::uint32_t retries = 0;
+    while (cursor_ < ops_.size()) {
+      const TraceOp& op = ops_[cursor_];
+      if (op.kind == TraceOp::Kind::kMalloc) {
+        const Addr addr = TimedMalloc(env, *alloc_, op.size);
+        if (addr == kNullAddr) {
+          return false;
+        }
+        env.TouchWrite(addr, std::min<std::uint32_t>(
+                                 touch_bytes_, static_cast<std::uint32_t>(op.size)));
+        shared_->blocks[op.index] = addr;
+        ++cursor_;
+        return true;
+      }
+      auto it = shared_->blocks.find(op.index);
+      if (it == shared_->blocks.end()) {
+        // The producing thread has not reached the malloc yet: yield.
+        env.Work(5);
+        return ++retries < 1000;  // livelock guard for malformed traces
+      }
+      TimedFree(env, *alloc_, it->second);
+      shared_->blocks.erase(it);
+      ++cursor_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<TraceOp> ops_;
+  Allocator* alloc_;
+  int core_;
+  std::uint32_t touch_bytes_;
+  std::shared_ptr<ReplayShared> shared_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<SimThread>> TraceReplay::MakeThreads(Machine& machine,
+                                                                 Allocator& alloc,
+                                                                 const std::vector<int>& cores,
+                                                                 std::uint64_t seed) {
+  (void)machine;
+  (void)seed;
+  auto shared = std::make_shared<ReplayShared>();
+  std::vector<std::vector<TraceOp>> per_thread(cores.size());
+  for (const TraceOp& op : trace_.ops) {
+    per_thread[op.thread % cores.size()].push_back(op);
+  }
+  std::vector<std::unique_ptr<SimThread>> threads;
+  threads.reserve(cores.size());
+  for (std::size_t i = 0; i < cores.size(); ++i) {
+    threads.push_back(std::make_unique<ReplayThread>(std::move(per_thread[i]), alloc, cores[i],
+                                                     touch_bytes_, shared));
+  }
+  return threads;
+}
+
+}  // namespace ngx

@@ -1,0 +1,30 @@
+// Workload interface: a workload builds one SimThread per application core;
+// the runner interleaves them deterministically.
+#ifndef NGX_SRC_WORKLOAD_WORKLOAD_H_
+#define NGX_SRC_WORKLOAD_WORKLOAD_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/alloc/allocator.h"
+#include "src/sim/scheduler.h"
+
+namespace ngx {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // Builds one thread per entry of `cores`, all sharing `alloc`. Threads own
+  // their state; they stay alive until the returned vector is destroyed.
+  virtual std::vector<std::unique_ptr<SimThread>> MakeThreads(
+      Machine& machine, Allocator& alloc, const std::vector<int>& cores,
+      std::uint64_t seed) = 0;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,63 @@
+// XalancLike: an xalancbmk-shaped workload (SPEC CPU2017 523/623).
+//
+// xalancbmk applies XSLT transformations to XML documents. Its allocation
+// profile is millions of short-lived small nodes and strings built into a
+// DOM, repeatedly walked by the transformation, serialized, and torn down.
+// Only ~2% of its time is inside malloc/free, yet Table 1 shows large
+// allocator-dependent differences -- the effect this generator reproduces.
+//
+// Per document:
+//   parse      allocate nodes (pointer-linked) + strings, initialize them
+//   transform  `transform_passes` pointer-chasing walks with compute
+//   serialize  build output buffers from node contents, free them
+//   teardown   free the document
+#ifndef NGX_SRC_WORKLOAD_XALANC_H_
+#define NGX_SRC_WORKLOAD_XALANC_H_
+
+#include "src/workload/size_dist.h"
+#include "src/workload/workload.h"
+
+namespace ngx {
+
+struct XalancConfig {
+  std::uint32_t documents = 20;
+  std::uint32_t nodes_per_doc = 3000;
+  std::uint32_t transform_passes = 3;
+  std::uint32_t compute_per_node = 500;  // non-memory work per node visit
+  std::uint32_t chase_per_visit = 2;     // random cross-references followed per visit
+  std::uint32_t temp_alloc_percent = 8;  // transform temporaries
+
+  // The program's static data (stylesheet tables, symbol hash tables) lives
+  // on ordinary 4 KiB pages regardless of the allocator; touching it gives
+  // every configuration the same baseline dTLB pressure, as on real
+  // hardware.
+  std::uint64_t stylesheet_bytes = 4ull << 20;
+  std::uint32_t stylesheet_percent = 6;  // chance per node visit
+
+  // Fraction of nodes/strings that survive the document (interned strings,
+  // grammar/symbol tables) and are released `retain_window` documents later.
+  // Long-lived objects interleaved with short-lived ones are what defeats
+  // boundary-tag coalescing and fragments a dlmalloc-style heap.
+  std::uint32_t retain_percent = 12;
+  std::uint32_t retain_window = 3;
+};
+
+class XalancLike : public Workload {
+ public:
+  explicit XalancLike(const XalancConfig& config = {}) : config_(config) {}
+
+  std::string_view name() const override { return "xalanc-like"; }
+
+  std::vector<std::unique_ptr<SimThread>> MakeThreads(Machine& machine, Allocator& alloc,
+                                                      const std::vector<int>& cores,
+                                                      std::uint64_t seed) override;
+
+  const XalancConfig& config() const { return config_; }
+
+ private:
+  XalancConfig config_;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_WORKLOAD_XALANC_H_

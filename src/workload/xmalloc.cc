@@ -1,0 +1,145 @@
+#include "src/workload/xmalloc.h"
+
+#include <memory>
+
+#include "src/alloc/layout.h"
+#include "src/workload/alloc_ops.h"
+
+namespace ngx {
+
+namespace {
+
+// Handoff queue layout per ring edge (4 KiB stride):
+//   +0 head (producer-written), +64 tail (consumer-written), +128 entries.
+constexpr std::uint64_t kQueueStride = 4096;
+
+struct XmallocShared {
+  std::vector<bool> producer_done;
+};
+
+class XmallocThread : public SimThread {
+ public:
+  XmallocThread(const XmallocConfig& config, Allocator& alloc, int core, std::uint32_t index,
+                std::uint32_t nthreads, Addr queue_base, std::uint64_t seed,
+                std::shared_ptr<XmallocShared> shared)
+      : config_(config),
+        alloc_(&alloc),
+        core_(core),
+        index_(index),
+        nthreads_(nthreads),
+        queue_base_(queue_base),
+        rng_(seed),
+        sizes_(SizeDist::XmallocBlocks()),
+        shared_(std::move(shared)) {}
+
+  int core_id() const override { return core_; }
+
+  bool Step(Env& env) override {
+    DrainIncoming(env);
+    if (produced_ < config_.ops_per_thread) {
+      ProduceBatch(env);
+      if (produced_ >= config_.ops_per_thread) {
+        shared_->producer_done[index_] = true;
+      }
+      return true;
+    }
+    // Producing is done; stay alive until the upstream producer finishes and
+    // our incoming queue is empty.
+    const std::uint32_t upstream = (index_ + nthreads_ - 1) % nthreads_;
+    if (shared_->producer_done[upstream] && IncomingEmpty(env)) {
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  Addr OutQueue() const { return queue_base_ + kQueueStride * index_; }
+  Addr InQueue() const {
+    return queue_base_ + kQueueStride * ((index_ + nthreads_ - 1) % nthreads_);
+  }
+  static Addr EntryAddr(Addr q, std::uint64_t i, std::uint32_t slots) {
+    return q + 128 + 8 * (i % slots);
+  }
+
+  bool IncomingEmpty(Env& env) {
+    const Addr q = InQueue();
+    return env.Load<std::uint64_t>(q + 0) == env.Load<std::uint64_t>(q + 64);
+  }
+
+  void DrainIncoming(Env& env) {
+    const Addr q = InQueue();
+    const std::uint64_t head = env.Load<std::uint64_t>(q + 0);
+    std::uint64_t tail = env.Load<std::uint64_t>(q + 64);
+    std::uint32_t n = 0;
+    while (tail != head && n < config_.batch) {
+      const Addr block = env.Load<Addr>(EntryAddr(q, tail, config_.queue_slots));
+      env.TouchRead(block, config_.touch_bytes);  // consumer uses the data
+      env.Work(20);
+      TimedFree(env, *alloc_, block);  // cross-thread free: Table 2's trigger
+      ++tail;
+      ++n;
+    }
+    if (n > 0) {
+      env.Store<std::uint64_t>(q + 64, tail);
+    }
+  }
+
+  void ProduceBatch(Env& env) {
+    const Addr q = OutQueue();
+    std::uint64_t head = env.Load<std::uint64_t>(q + 0);
+    const std::uint64_t tail = env.Load<std::uint64_t>(q + 64);
+    std::uint32_t produced_now = 0;
+    while (produced_now < config_.batch && produced_ < config_.ops_per_thread &&
+           head - tail < config_.queue_slots) {
+      const std::uint64_t size = sizes_.Sample(rng_);
+      const Addr block = TimedMalloc(env, *alloc_, size);
+      if (block == kNullAddr) {
+        produced_ = config_.ops_per_thread;  // OOM: stop producing
+        break;
+      }
+      env.TouchWrite(block, config_.touch_bytes);
+      env.Work(25);
+      env.Store<Addr>(EntryAddr(q, head, config_.queue_slots), block);
+      ++head;
+      ++produced_;
+      ++produced_now;
+    }
+    if (produced_now > 0) {
+      env.Store<std::uint64_t>(q + 0, head);
+    }
+  }
+
+  XmallocConfig config_;
+  Allocator* alloc_;
+  int core_;
+  std::uint32_t index_;
+  std::uint32_t nthreads_;
+  Addr queue_base_;
+  Rng rng_;
+  SizeDist sizes_;
+  std::shared_ptr<XmallocShared> shared_;
+  std::uint32_t produced_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<SimThread>> XmallocLike::MakeThreads(Machine& machine,
+                                                                 Allocator& alloc,
+                                                                 const std::vector<int>& cores,
+                                                                 std::uint64_t seed) {
+  const auto n = static_cast<std::uint32_t>(cores.size());
+  const Addr queue_base = kWorkloadBase;
+  machine.address_map().Add(
+      Region{queue_base, kQueueStride * n, PageKind::kSmall4K, "xmalloc-queues"});
+  auto shared = std::make_shared<XmallocShared>();
+  shared->producer_done.assign(n, false);
+  std::vector<std::unique_ptr<SimThread>> threads;
+  threads.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    threads.push_back(std::make_unique<XmallocThread>(config_, alloc, cores[i], i, n,
+                                                      queue_base, seed + 77 * i, shared));
+  }
+  return threads;
+}
+
+}  // namespace ngx

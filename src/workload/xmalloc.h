@@ -1,0 +1,38 @@
+// XmallocLike: Lever & Boreham's xmalloc -- the Table 2 workload.
+//
+// N threads form a ring: thread i allocates blocks and hands them to thread
+// (i+1) mod N, which frees them. Every free is therefore a *cross-thread*
+// free, the pattern that forces thread-caching allocators to bounce central
+// metadata and block lines between cores.
+#ifndef NGX_SRC_WORKLOAD_XMALLOC_H_
+#define NGX_SRC_WORKLOAD_XMALLOC_H_
+
+#include "src/workload/size_dist.h"
+#include "src/workload/workload.h"
+
+namespace ngx {
+
+struct XmallocConfig {
+  std::uint32_t ops_per_thread = 20000;  // allocations performed per thread
+  std::uint32_t batch = 8;               // blocks exchanged per handoff
+  std::uint32_t queue_slots = 256;       // per-edge handoff queue capacity
+  std::uint32_t touch_bytes = 64;        // producer writes this much per block
+};
+
+class XmallocLike : public Workload {
+ public:
+  explicit XmallocLike(const XmallocConfig& config = {}) : config_(config) {}
+
+  std::string_view name() const override { return "xmalloc-like"; }
+
+  std::vector<std::unique_ptr<SimThread>> MakeThreads(Machine& machine, Allocator& alloc,
+                                                      const std::vector<int>& cores,
+                                                      std::uint64_t seed) override;
+
+ private:
+  XmallocConfig config_;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_WORKLOAD_XMALLOC_H_

@@ -1,0 +1,326 @@
+// Structural tests specific to each baseline allocator's architecture.
+#include <gtest/gtest.h>
+
+#include "src/alloc/jemalloc/je_allocator.h"
+#include "src/alloc/layout.h"
+#include "src/alloc/mimalloc/mi_allocator.h"
+#include "src/alloc/ptmalloc/pt_allocator.h"
+#include "src/alloc/tcmalloc/tc_allocator.h"
+#include "tests/test_util.h"
+
+namespace ngx {
+namespace {
+
+// ---------------------------------------------------------------- ptmalloc
+TEST(PtAllocator, CoalescingReassemblesNeighbors) {
+  auto machine = MakeMachine(1);
+  PtConfig cfg;
+  cfg.use_fastbins = false;  // test the boundary-tag path directly
+  PtAllocator pt(*machine, kPtHeapBase, cfg);
+  Env env(*machine, 0);
+  // Three adjacent chunks; freeing all three must coalesce into one block
+  // that can serve a request bigger than any single piece.
+  const Addr a = pt.Malloc(env, 200);
+  const Addr b = pt.Malloc(env, 200);
+  const Addr c = pt.Malloc(env, 200);
+  const Addr guard = pt.Malloc(env, 200);  // keeps top away
+  ASSERT_EQ(b - a, 208u);  // adjacent chunks: distance = chunk size
+  pt.Free(env, a);
+  pt.Free(env, c);
+  pt.Free(env, b);  // middle: merges both ways
+  const Addr big = pt.Malloc(env, 500);
+  EXPECT_EQ(big, a) << "coalesced block should be reused in place";
+  pt.Free(env, big);
+  pt.Free(env, guard);
+}
+
+TEST(PtAllocator, SplitLeavesUsableRemainder) {
+  auto machine = MakeMachine(1);
+  PtConfig cfg;
+  cfg.use_fastbins = false;
+  PtAllocator pt(*machine, kPtHeapBase, cfg);
+  Env env(*machine, 0);
+  const Addr big = pt.Malloc(env, 1000);
+  const Addr guard = pt.Malloc(env, 64);
+  pt.Free(env, big);
+  const Addr small = pt.Malloc(env, 100);
+  EXPECT_EQ(small, big) << "small request splits the binned chunk";
+  const Addr rest = pt.Malloc(env, 700);
+  EXPECT_GT(rest, small);
+  EXPECT_LT(rest, guard) << "remainder reused before growing the heap";
+  pt.Free(env, small);
+  pt.Free(env, rest);
+  pt.Free(env, guard);
+}
+
+TEST(PtAllocator, LargeRequestsAreMmapped) {
+  auto machine = MakeMachine(1);
+  PtAllocator pt(*machine, kPtHeapBase);
+  Env env(*machine, 0);
+  const std::uint64_t mapped_before = pt.stats().mapped_bytes;
+  const Addr a = pt.Malloc(env, 512 * 1024);
+  ASSERT_NE(a, kNullAddr);
+  EXPECT_GT(pt.stats().mapped_bytes, mapped_before + 500 * 1024);
+  pt.Free(env, a);
+  EXPECT_LE(pt.stats().mapped_bytes, mapped_before) << "munmapped on free";
+}
+
+TEST(PtAllocator, FastbinsDeferCoalescing) {
+  auto machine = MakeMachine(1);
+  PtConfig cfg;
+  cfg.consolidate_threshold = 1000000;  // never by count
+  PtAllocator pt(*machine, kPtHeapBase, cfg);
+  Env env(*machine, 0);
+  const Addr a = pt.Malloc(env, 40);
+  const Addr b = pt.Malloc(env, 40);
+  (void)b;
+  pt.Free(env, a);
+  // LIFO exact reuse without any coalescing work.
+  EXPECT_EQ(pt.Malloc(env, 40), a);
+  EXPECT_EQ(pt.consolidations(), 0u);
+  // A large request triggers malloc_consolidate.
+  pt.Free(env, a);
+  const Addr big = pt.Malloc(env, 2000);
+  EXPECT_EQ(pt.consolidations(), 1u);
+  pt.Free(env, big);
+}
+
+TEST(PtAllocator, ConsolidationByThreshold) {
+  auto machine = MakeMachine(1);
+  PtConfig cfg;
+  cfg.consolidate_threshold = 16;
+  PtAllocator pt(*machine, kPtHeapBase, cfg);
+  Env env(*machine, 0);
+  std::vector<Addr> blocks;
+  for (int i = 0; i < 32; ++i) {
+    blocks.push_back(pt.Malloc(env, 40));
+  }
+  for (const Addr b : blocks) {
+    pt.Free(env, b);
+  }
+  EXPECT_GE(pt.consolidations(), 1u);
+  // Everything must still be reusable afterwards.
+  const Addr big = pt.Malloc(env, 900);
+  EXPECT_NE(big, kNullAddr);
+}
+
+// ---------------------------------------------------------------- jemalloc
+TEST(JeAllocator, SameClassSharesChunk) {
+  auto machine = MakeMachine(1);
+  JeAllocator je(*machine, kJeHeapBase);
+  Env env(*machine, 0);
+  const Addr a = je.Malloc(env, 100);
+  const Addr b = je.Malloc(env, 100);
+  EXPECT_EQ(AlignDown(a, 64 * 1024), AlignDown(b, 64 * 1024))
+      << "same-class regions come from the same run";
+  EXPECT_EQ(b - a, 112u) << "regions are class-size spaced";
+}
+
+TEST(JeAllocator, DifferentArenasForDifferentCores) {
+  auto machine = MakeMachine(4);
+  JeAllocator je(*machine, kJeHeapBase, JeConfig{});
+  Env e0(*machine, 0);
+  Env e1(*machine, 1);
+  const Addr a = je.Malloc(e0, 100);
+  const Addr b = je.Malloc(e1, 100);
+  EXPECT_NE(AlignDown(a, 64 * 1024), AlignDown(b, 64 * 1024))
+      << "different arenas use different chunks";
+  // Cross-arena free must work.
+  je.Free(e0, b);
+  je.Free(e1, a);
+}
+
+TEST(JeAllocator, LowestRegionFirstReuse) {
+  auto machine = MakeMachine(1);
+  JeAllocator je(*machine, kJeHeapBase);
+  Env env(*machine, 0);
+  std::vector<Addr> blocks;
+  for (int i = 0; i < 10; ++i) {
+    blocks.push_back(je.Malloc(env, 100));
+  }
+  je.Free(env, blocks[7]);
+  je.Free(env, blocks[2]);
+  EXPECT_EQ(je.Malloc(env, 100), blocks[2]) << "bitmap find-first-clear reuses lowest index";
+}
+
+TEST(JeAllocator, EmptyChunkRecycledForOtherClasses) {
+  auto machine = MakeMachine(1);
+  JeAllocator je(*machine, kJeHeapBase);
+  Env env(*machine, 0);
+  // Fill two chunks of one class, then free everything: one chunk is kept,
+  // the other recycled through the arena's chunk stack.
+  std::vector<Addr> blocks;
+  for (int i = 0; i < 1200; ++i) {  // > one 64 KiB chunk of 112-byte regions
+    blocks.push_back(je.Malloc(env, 100));
+  }
+  for (const Addr b : blocks) {
+    je.Free(env, b);
+  }
+  const std::uint64_t mapped = je.stats().mapped_bytes;
+  // A different class must be able to reuse the recycled chunk without
+  // growing the footprint.
+  std::vector<Addr> other;
+  for (int i = 0; i < 200; ++i) {
+    other.push_back(je.Malloc(env, 500));
+  }
+  EXPECT_LE(je.stats().mapped_bytes, mapped + 2 * 1024 * 1024);
+  for (const Addr b : other) {
+    je.Free(env, b);
+  }
+}
+
+// ---------------------------------------------------------------- tcmalloc
+TEST(TcAllocator, ThreadCacheHitsAvoidCentral) {
+  auto machine = MakeMachine(2);
+  TcAllocator tc(*machine, kTcHeapBase, kTcMetaBase);
+  Env env(*machine, 0);
+  const Addr a = tc.Malloc(env, 64);
+  tc.Free(env, a);
+  const std::uint64_t atomics_before = machine->core(0).pmu().atomic_rmws;
+  // A hit in the per-core cache must not acquire any central lock.
+  const Addr b = tc.Malloc(env, 64);
+  EXPECT_EQ(b, a) << "LIFO thread-cache reuse";
+  EXPECT_EQ(machine->core(0).pmu().atomic_rmws, atomics_before);
+  tc.Free(env, b);
+}
+
+TEST(TcAllocator, SpansAreHugepageBacked) {
+  auto machine = MakeMachine(1);
+  TcAllocator tc(*machine, kTcHeapBase, kTcMetaBase);
+  Env env(*machine, 0);
+  const Addr a = tc.Malloc(env, 64);
+  EXPECT_EQ(machine->address_map().PageBytesFor(a), kHugePageBytes);
+  tc.Free(env, a);
+}
+
+TEST(TcAllocator, CrossCoreFreeFlowsThroughCentral) {
+  auto machine = MakeMachine(2);
+  TcAllocator tc(*machine, kTcHeapBase, kTcMetaBase);
+  Env producer(*machine, 0);
+  Env consumer(*machine, 1);
+  // Enough frees on the consumer to force a flush batch to the central list,
+  // then the producer's refill must find those exact blocks.
+  std::vector<Addr> blocks;
+  for (int i = 0; i < 200; ++i) {
+    blocks.push_back(tc.Malloc(producer, 64));
+  }
+  for (const Addr b : blocks) {
+    tc.Free(consumer, b);
+  }
+  tc.Flush(consumer);
+  std::vector<Addr> again;
+  for (int i = 0; i < 200; ++i) {
+    again.push_back(tc.Malloc(producer, 64));
+  }
+  std::sort(blocks.begin(), blocks.end());
+  std::sort(again.begin(), again.end());
+  int recycled = 0;
+  for (const Addr a : again) {
+    if (std::binary_search(blocks.begin(), blocks.end(), a)) {
+      ++recycled;
+    }
+  }
+  EXPECT_GT(recycled, 100) << "blocks must recirculate through the central list";
+  for (const Addr a : again) {
+    tc.Free(producer, a);
+  }
+}
+
+TEST(TcAllocator, LargeSpansReused) {
+  auto machine = MakeMachine(1);
+  TcAllocator tc(*machine, kTcHeapBase, kTcMetaBase);
+  Env env(*machine, 0);
+  const Addr a = tc.Malloc(env, 300 * 1024);
+  tc.Free(env, a);
+  const Addr b = tc.Malloc(env, 300 * 1024);
+  EXPECT_EQ(b, a) << "freed large span satisfies the next large request";
+  tc.Free(env, b);
+}
+
+// ---------------------------------------------------------------- mimalloc
+TEST(MiAllocator, PageLocalLifoReuse) {
+  auto machine = MakeMachine(1);
+  MiAllocator mi(*machine, kMiHeapBase);
+  Env env(*machine, 0);
+  const Addr a = mi.Malloc(env, 64);
+  const Addr b = mi.Malloc(env, 64);
+  EXPECT_EQ(b, a + 64) << "bump carving within the page";
+  mi.Free(env, a);
+  EXPECT_EQ(mi.Malloc(env, 64), a) << "local_free collected into free and popped";
+  mi.Free(env, a);
+  mi.Free(env, b);
+}
+
+TEST(MiAllocator, CrossThreadFreeUsesThreadFreeList) {
+  auto machine = MakeMachine(2);
+  MiAllocator mi(*machine, kMiHeapBase);
+  Env owner(*machine, 0);
+  Env other(*machine, 1);
+  const Addr a = mi.Malloc(owner, 64);
+  const std::uint64_t rmw_before = machine->core(1).pmu().atomic_rmws;
+  mi.Free(other, a);
+  EXPECT_GT(machine->core(1).pmu().atomic_rmws, rmw_before)
+      << "cross-core free XCHG-pushes onto thread_free";
+  // Owner must be able to recover and reuse the block.
+  std::vector<Addr> drained;
+  for (int i = 0; i < 2000; ++i) {
+    const Addr x = mi.Malloc(owner, 64);
+    drained.push_back(x);
+    if (x == a) {
+      break;
+    }
+  }
+  EXPECT_EQ(drained.back(), a) << "thread_free collected by the owner";
+  for (const Addr x : drained) {
+    mi.Free(owner, x);
+  }
+}
+
+TEST(MiAllocator, FullPagesGoToDelayedList) {
+  auto machine = MakeMachine(2);
+  MiConfig cfg;
+  cfg.page_bytes = 64 * 1024;
+  MiAllocator mi(*machine, kMiHeapBase, cfg);
+  Env owner(*machine, 0);
+  Env other(*machine, 1);
+  // Fill beyond one page so the first page gets flagged full.
+  std::vector<Addr> blocks;
+  for (int i = 0; i < 1200; ++i) {  // 64 KiB / 64 B = 1024 per page
+    blocks.push_back(mi.Malloc(owner, 64));
+  }
+  // Cross-free blocks of the (full) first page: they ride the heap's
+  // thread-delayed list and the owner must eventually reuse them.
+  for (int i = 0; i < 100; ++i) {
+    mi.Free(other, blocks[i]);
+  }
+  std::vector<Addr> reused;
+  for (int i = 0; i < 200; ++i) {
+    reused.push_back(mi.Malloc(owner, 64));
+  }
+  int recovered = 0;
+  for (const Addr r : reused) {
+    for (int i = 0; i < 100; ++i) {
+      if (r == blocks[i]) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(recovered, 50) << "delayed-freed blocks must be recovered";
+}
+
+TEST(MiAllocator, SegmentsAreOwnerTagged) {
+  auto machine = MakeMachine(2);
+  MiAllocator mi(*machine, kMiHeapBase);
+  Env e0(*machine, 0);
+  Env e1(*machine, 1);
+  const Addr a = mi.Malloc(e0, 64);
+  const Addr b = mi.Malloc(e1, 64);
+  EXPECT_NE(AlignDown(a, 4 * 1024 * 1024), AlignDown(b, 4 * 1024 * 1024))
+      << "each core allocates from its own segments";
+  mi.Free(e0, a);
+  mi.Free(e1, b);
+}
+
+}  // namespace
+}  // namespace ngx

@@ -1,0 +1,94 @@
+#include "src/sim/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace ngx {
+namespace {
+
+CacheConfig SmallCache() {
+  CacheConfig c;
+  c.size_bytes = 1024;  // 16 lines
+  c.ways = 2;           // 8 sets
+  return c;
+}
+
+TEST(Cache, MissThenHit) {
+  Cache cache(SmallCache(), "t");
+  EXPECT_FALSE(cache.Access(0, false));
+  cache.Insert(0, false);
+  EXPECT_TRUE(cache.Access(0, false));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, LruEviction) {
+  Cache cache(SmallCache(), "t");
+  // Three lines mapping to set 0: line addresses stride = sets * line = 512.
+  cache.Insert(0, false);
+  cache.Insert(512, false);
+  cache.Access(0, false);  // 0 is now MRU; 512 is LRU
+  const Cache::Eviction ev = cache.Insert(1024, false);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_EQ(ev.line, 512u);
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(1024));
+  EXPECT_FALSE(cache.Contains(512));
+}
+
+TEST(Cache, DirtyEvictionReported) {
+  Cache cache(SmallCache(), "t");
+  cache.Insert(0, true);
+  cache.Insert(512, false);
+  cache.Access(512, false);
+  const Cache::Eviction ev = cache.Insert(1024, false);
+  EXPECT_TRUE(ev.valid);
+  EXPECT_EQ(ev.line, 0u);
+  EXPECT_TRUE(ev.dirty);
+}
+
+TEST(Cache, InvalidateReturnsDirtyBit) {
+  Cache cache(SmallCache(), "t");
+  cache.Insert(64, false);
+  cache.Access(64, true);  // mark dirty
+  bool dirty = false;
+  EXPECT_TRUE(cache.Invalidate(64, &dirty));
+  EXPECT_TRUE(dirty);
+  EXPECT_FALSE(cache.Contains(64));
+  EXPECT_FALSE(cache.Invalidate(64, &dirty));
+}
+
+TEST(Cache, CleanAndMarkDirty) {
+  Cache cache(SmallCache(), "t");
+  cache.Insert(64, true);
+  cache.CleanLine(64);
+  bool dirty = true;
+  cache.Invalidate(64, &dirty);
+  EXPECT_FALSE(dirty);
+
+  cache.Insert(128, false);
+  cache.MarkDirty(128);
+  cache.Invalidate(128, &dirty);
+  EXPECT_TRUE(dirty);
+}
+
+TEST(Cache, ValidLinesEnumerates) {
+  Cache cache(SmallCache(), "t");
+  cache.Insert(0, false);
+  cache.Insert(64, false);
+  cache.Insert(128, false);
+  const auto lines = cache.ValidLines();
+  EXPECT_EQ(lines.size(), 3u);
+}
+
+TEST(Cache, HitKeepsCapacityBounded) {
+  Cache cache(SmallCache(), "t");
+  for (Addr a = 0; a < 64 * 64; a += 64) {
+    if (!cache.Access(a, false)) {
+      cache.Insert(a, false);
+    }
+  }
+  EXPECT_LE(cache.ValidLines().size(), 16u);
+}
+
+}  // namespace
+}  // namespace ngx

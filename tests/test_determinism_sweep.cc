@@ -1,0 +1,104 @@
+// Parameterized determinism and robustness sweeps across seeds and thread
+// counts: the simulator must be bit-reproducible, and every allocator must
+// stay balanced for any seed.
+#include <gtest/gtest.h>
+
+#include "src/alloc/registry.h"
+#include "src/core/nextgen_malloc.h"
+#include "src/workload/churn.h"
+#include "src/workload/runner.h"
+#include "src/workload/xalanc.h"
+#include "src/workload/xmalloc.h"
+#include "tests/test_util.h"
+
+namespace ngx {
+namespace {
+
+class SeedSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweepTest, XalancDeterministicPerSeed) {
+  auto run = [&] {
+    Machine machine(MachineConfig::ScaledWorkstation(1));
+    auto alloc = CreateAllocator("tcmalloc", machine);
+    XalancConfig cfg;
+    cfg.documents = 2;
+    cfg.nodes_per_doc = 500;
+    XalancLike workload(cfg);
+    RunOptions opt;
+    opt.cores = {0};
+    opt.seed = GetParam();
+    return RunWorkload(machine, *alloc, workload, opt);
+  };
+  const RunResult a = run();
+  const RunResult b = run();
+  EXPECT_EQ(a.app.cycles, b.app.cycles);
+  EXPECT_EQ(a.app.llc_load_misses, b.app.llc_load_misses);
+  EXPECT_EQ(a.app.dtlb_load_misses, b.app.dtlb_load_misses);
+  EXPECT_EQ(a.alloc_stats.mallocs, b.alloc_stats.mallocs);
+}
+
+TEST_P(SeedSweepTest, EveryAllocatorBalancedOnChurn) {
+  for (const std::string& name : BaselineAllocatorNames()) {
+    Machine machine(MachineConfig::Default(2));
+    auto alloc = CreateAllocator(name, machine);
+    ChurnConfig cfg;
+    cfg.live_blocks = 150;
+    cfg.ops = 800;
+    Churn workload(cfg);
+    RunOptions opt;
+    opt.cores = {0, 1};
+    opt.seed = GetParam();
+    RunWorkload(machine, *alloc, workload, opt);
+    const AllocatorStats s = alloc->stats();
+    EXPECT_EQ(s.mallocs, s.frees) << name << " seed " << GetParam();
+    EXPECT_EQ(s.oom_failures, 0u) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(1ull, 2ull, 42ull, 0xdeadbeefull, 123456789ull));
+
+class ThreadSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadSweepTest, XmallocScalesOnTcmalloc) {
+  const int n = GetParam();
+  Machine machine(MachineConfig::Default(n));
+  auto alloc = CreateAllocator("tcmalloc", machine);
+  XmallocConfig cfg;
+  cfg.ops_per_thread = 600;
+  XmallocLike workload(cfg);
+  RunOptions opt;
+  opt.cores = FirstCores(n);
+  const RunResult r = RunWorkload(machine, *alloc, workload, opt);
+  const AllocatorStats s = alloc->stats();
+  EXPECT_EQ(s.mallocs, static_cast<std::uint64_t>(n) * 600u);
+  EXPECT_EQ(s.mallocs, s.frees);
+  if (n > 1) {
+    EXPECT_GT(r.app.remote_hitm, 0u) << "cross-thread frees must bounce lines";
+  } else {
+    EXPECT_EQ(r.app.remote_hitm, 0u);
+  }
+}
+
+TEST_P(ThreadSweepTest, NextGenServesManyClients) {
+  const int n = GetParam();
+  Machine machine(MachineConfig::Default(n + 1));
+  NgxSystem sys = MakeNgxSystem(machine, NgxConfig::PaperPrototype(), n);
+  XmallocConfig cfg;
+  cfg.ops_per_thread = 400;
+  XmallocLike workload(cfg);
+  RunOptions opt;
+  opt.cores = FirstCores(n);
+  opt.server_core = n;
+  RunWorkload(machine, *sys.allocator, workload, opt);
+  sys.engine->DrainAll();
+  const AllocatorStats s = sys.allocator->stats();
+  EXPECT_EQ(s.mallocs, s.frees);
+  EXPECT_EQ(sys.engine->stats().sync_requests, s.mallocs + static_cast<std::uint64_t>(n))
+      << "one round trip per malloc plus one flush per client";
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweepTest, ::testing::Values(1, 2, 3, 4, 7));
+
+}  // namespace
+}  // namespace ngx

@@ -1,0 +1,125 @@
+// Tests for the FaaS heap-image extension and the prefetcher option.
+#include <gtest/gtest.h>
+
+#include "src/alloc/layout.h"
+#include "src/alloc/mimalloc/mi_allocator.h"
+#include "src/core/faas.h"
+#include "tests/test_util.h"
+
+namespace ngx {
+namespace {
+
+TEST(FaasImage, CapturesAndRestoresHeapContents) {
+  // Template machine: allocate and initialize some objects.
+  Machine tmpl(MachineConfig::Default(1));
+  MiAllocator alloc(tmpl, kMiHeapBase);
+  Env tenv(tmpl, 0);
+  std::vector<Addr> objs;
+  for (int i = 0; i < 50; ++i) {
+    const Addr o = alloc.Malloc(tenv, 64);
+    tenv.Store<std::uint64_t>(o, 0xAB00 + static_cast<std::uint64_t>(i));
+    objs.push_back(o);
+  }
+  const FaasImage image = FaasImage::Capture(tmpl, kMiHeapBase, kMiHeapBase + kHeapWindow);
+  EXPECT_GT(image.total_bytes(), 0u);
+  EXPECT_GT(image.region_count(), 0u);
+
+  // Fresh machine: restore; contents and addresses must match the template.
+  Machine fresh(MachineConfig::Default(1));
+  Env fenv(fresh, 0);
+  image.Restore(fenv);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(fenv.Load<std::uint64_t>(objs[static_cast<std::size_t>(i)]),
+              0xAB00u + static_cast<std::uint64_t>(i));
+  }
+  // Regions registered with the original page kinds.
+  EXPECT_EQ(fresh.address_map().PageBytesFor(objs[0]),
+            tmpl.address_map().PageBytesFor(objs[0]));
+}
+
+TEST(FaasImage, RestoreChargesPerRegionAndPage) {
+  Machine tmpl(MachineConfig::Default(1));
+  MiAllocator alloc(tmpl, kMiHeapBase);
+  Env tenv(tmpl, 0);
+  alloc.Malloc(tenv, 64);
+  const FaasImage image = FaasImage::Capture(tmpl, kMiHeapBase, kMiHeapBase + kHeapWindow);
+
+  Machine fresh(MachineConfig::Default(1));
+  Env fenv(fresh, 0);
+  const std::uint64_t t0 = fenv.now();
+  FaasRestoreConfig cfg;
+  cfg.restore_page_cycles = 100;
+  image.Restore(fenv, cfg);
+  EXPECT_GE(fenv.now() - t0, image.page_count() * 100 / 4)
+      << "restore must charge real time";
+}
+
+TEST(FaasImage, EmptyRangeCapturesNothing) {
+  Machine tmpl(MachineConfig::Default(1));
+  const FaasImage image = FaasImage::Capture(tmpl, 0x9999'0000, 0x9999'1000);
+  EXPECT_EQ(image.region_count(), 0u);
+  EXPECT_EQ(image.total_bytes(), 0u);
+}
+
+TEST(AddressMapRegions, RegionsInRespectsBounds) {
+  AddressMap map;
+  map.Add(Region{0x1000, 0x1000, PageKind::kSmall4K, "a"});
+  map.Add(Region{0x5000, 0x1000, PageKind::kSmall4K, "b"});
+  map.Add(Region{0x9000, 0x1000, PageKind::kSmall4K, "c"});
+  const auto mid = map.RegionsIn(0x2000, 0x9000);
+  ASSERT_EQ(mid.size(), 1u);
+  EXPECT_EQ(mid[0].name, "b");
+  EXPECT_EQ(map.RegionsIn(0, ~0ull).size(), 3u);
+}
+
+TEST(Prefetcher, NextLineCutsStreamingMisses) {
+  MachineConfig off_cfg = MachineConfig::Default(1);
+  MachineConfig on_cfg = MachineConfig::Default(1);
+  on_cfg.next_line_prefetch = true;
+  Machine off(off_cfg);
+  Machine on(on_cfg);
+  Env eoff(off, 0);
+  Env eon(on, 0);
+  for (int i = 0; i < 512; ++i) {
+    eoff.Load<std::uint64_t>(0x10'0000 + static_cast<Addr>(i) * 64);
+    eon.Load<std::uint64_t>(0x10'0000 + static_cast<Addr>(i) * 64);
+  }
+  EXPECT_EQ(off.core(0).pmu().llc_load_misses, 512u);
+  EXPECT_LE(on.core(0).pmu().llc_load_misses, 2u) << "stream fully prefetched";
+  EXPECT_LT(on.core(0).now(), off.core(0).now());
+}
+
+TEST(Prefetcher, DoesNotStealRemotelyOwnedLines) {
+  MachineConfig cfg = MachineConfig::Default(2);
+  cfg.next_line_prefetch = true;
+  Machine machine(cfg);
+  Env e0(machine, 0);
+  Env e1(machine, 1);
+  e1.Store<std::uint64_t>(0x2040, 77);  // core 1 owns the line after 0x2000
+  e0.Load<std::uint64_t>(0x2000);       // would prefetch 0x2040
+  EXPECT_EQ(machine.OwnerOf(0x2040), 1) << "prefetch must not downgrade the owner";
+  EXPECT_EQ(e1.Load<std::uint64_t>(0x2040), 77u);
+}
+
+TEST(Prefetcher, CoherentUnderMixedTraffic) {
+  MachineConfig cfg = MachineConfig::Default(2);
+  cfg.next_line_prefetch = true;
+  Machine machine(cfg);
+  std::uint64_t shadow[64] = {};
+  std::uint64_t x = 99;
+  for (int i = 0; i < 4000; ++i) {
+    x = x * 2862933555777941757ull + 3037000493ull;
+    const int core = static_cast<int>(x % 2);
+    const std::size_t slot = (x >> 8) % 64;
+    Env env(machine, core);
+    if ((x >> 20) & 1) {
+      shadow[slot] = x;
+      env.Store<std::uint64_t>(0x7000 + slot * 64, x);
+    } else {
+      ASSERT_EQ(env.Load<std::uint64_t>(0x7000 + slot * 64), shadow[slot]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ngx

@@ -1,0 +1,119 @@
+// Tests for the mark-sweep managed heap (Section 3.3.2 GC extension).
+#include <gtest/gtest.h>
+
+#include "src/alloc/registry.h"
+#include "src/core/managed_heap.h"
+#include "tests/test_util.h"
+
+namespace ngx {
+namespace {
+
+class ManagedHeapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    machine_ = MakeMachine(2);
+    alloc_ = CreateAllocator("tcmalloc", *machine_);
+    heap_ = std::make_unique<ManagedHeap>(*alloc_);
+  }
+
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<Allocator> alloc_;
+  std::unique_ptr<ManagedHeap> heap_;
+};
+
+TEST_F(ManagedHeapTest, AllocAndAccessObject) {
+  Env env(*machine_, 0);
+  const Addr obj = heap_->AllocObject(env, 2, 64);
+  ASSERT_NE(obj, kNullAddr);
+  EXPECT_EQ(heap_->GetRef(env, obj, 0), kNullAddr);
+  heap_->SetRef(env, obj, 1, 0x1234);
+  EXPECT_EQ(heap_->GetRef(env, obj, 1), 0x1234u);
+  const Addr payload = ManagedHeap::PayloadAddr(env, obj);
+  EXPECT_EQ(payload, obj + ManagedHeap::kHeaderBytes + 16);
+  env.Store<std::uint64_t>(payload, 7);
+  EXPECT_EQ(env.Load<std::uint64_t>(payload), 7u);
+}
+
+TEST_F(ManagedHeapTest, CollectReclaimsUnreachable) {
+  Env env(*machine_, 0);
+  const Addr root = heap_->AllocObject(env, 1, 16);
+  const Addr kept = heap_->AllocObject(env, 0, 16);
+  heap_->AllocObject(env, 0, 16);  // garbage
+  heap_->AllocObject(env, 0, 16);  // garbage
+  heap_->SetRef(env, root, 0, kept);
+  heap_->AddRoot(root);
+  const GcStats s = heap_->Collect(env);
+  EXPECT_EQ(s.objects_marked, 2u);
+  EXPECT_EQ(s.objects_swept, 2u);
+  EXPECT_EQ(heap_->live_objects(), 2u);
+  // Survivors remain usable.
+  EXPECT_EQ(heap_->GetRef(env, root, 0), kept);
+}
+
+TEST_F(ManagedHeapTest, CyclesAreCollected) {
+  Env env(*machine_, 0);
+  const Addr a = heap_->AllocObject(env, 1, 8);
+  const Addr b = heap_->AllocObject(env, 1, 8);
+  heap_->SetRef(env, a, 0, b);
+  heap_->SetRef(env, b, 0, a);  // unreachable cycle
+  const GcStats s = heap_->Collect(env);
+  EXPECT_EQ(s.objects_swept, 2u);
+  EXPECT_EQ(heap_->live_objects(), 0u);
+}
+
+TEST_F(ManagedHeapTest, MarksClearBetweenCollections) {
+  Env env(*machine_, 0);
+  const Addr root = heap_->AllocObject(env, 0, 8);
+  heap_->AddRoot(root);
+  heap_->Collect(env);
+  const GcStats s2 = heap_->Collect(env);
+  EXPECT_EQ(s2.objects_marked, 1u) << "mark bit must have been cleared by the sweep";
+  EXPECT_EQ(heap_->live_objects(), 1u);
+}
+
+TEST_F(ManagedHeapTest, DeepGraphSurvives) {
+  Env env(*machine_, 0);
+  Addr prev = heap_->AllocObject(env, 1, 8);
+  heap_->AddRoot(prev);
+  for (int i = 0; i < 500; ++i) {
+    const Addr next = heap_->AllocObject(env, 1, 8);
+    heap_->SetRef(env, prev, 0, next);
+    prev = next;
+  }
+  const GcStats s = heap_->Collect(env);
+  EXPECT_EQ(s.objects_marked, 501u);
+  EXPECT_EQ(s.objects_swept, 0u);
+}
+
+TEST_F(ManagedHeapTest, ReclaimedMemoryIsReusable) {
+  Env env(*machine_, 0);
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      heap_->AllocObject(env, 2, 64);  // all garbage
+    }
+    heap_->Collect(env);
+  }
+  EXPECT_EQ(heap_->live_objects(), 0u);
+  const AllocatorStats s = alloc_->stats();
+  EXPECT_EQ(s.mallocs, s.frees + heap_->live_objects());
+  EXPECT_LT(s.mapped_bytes, 32u << 20) << "memory recycles across GC rounds";
+}
+
+TEST_F(ManagedHeapTest, OffloadedCollectionChargesOtherCore) {
+  Env mutator(*machine_, 0);
+  Env collector(*machine_, 1);
+  const Addr root = heap_->AllocObject(mutator, 1, 32);
+  heap_->AddRoot(root);
+  for (int i = 0; i < 200; ++i) {
+    heap_->AllocObject(mutator, 1, 32);  // garbage
+  }
+  const std::uint64_t mutator_loads = machine_->core(0).pmu().loads;
+  const GcStats s = heap_->Collect(collector);
+  EXPECT_GT(s.objects_swept, 0u);
+  EXPECT_EQ(machine_->core(0).pmu().loads, mutator_loads)
+      << "offloaded GC must not touch the mutator core";
+  EXPECT_GT(machine_->core(1).pmu().loads, 400u);
+}
+
+}  // namespace
+}  // namespace ngx

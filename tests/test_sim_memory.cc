@@ -1,0 +1,68 @@
+#include "src/sim/sim_memory.h"
+
+#include <gtest/gtest.h>
+
+namespace ngx {
+namespace {
+
+TEST(SimMemory, UnmappedReadsZero) {
+  SimMemory mem;
+  EXPECT_EQ(mem.Read<std::uint64_t>(0x1234), 0u);
+  EXPECT_EQ(mem.MappedPageCount(), 0u);
+}
+
+TEST(SimMemory, RoundTripTyped) {
+  SimMemory mem;
+  mem.Write<std::uint64_t>(0x1000, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(mem.Read<std::uint64_t>(0x1000), 0xdeadbeefcafef00dull);
+  mem.Write<std::uint32_t>(0x1008, 42);
+  EXPECT_EQ(mem.Read<std::uint32_t>(0x1008), 42u);
+  EXPECT_EQ(mem.MappedPageCount(), 1u);
+}
+
+TEST(SimMemory, CrossPageAccess) {
+  SimMemory mem;
+  const Addr a = 4096 - 3;  // straddles two pages
+  mem.Write<std::uint64_t>(a, 0x1122334455667788ull);
+  EXPECT_EQ(mem.Read<std::uint64_t>(a), 0x1122334455667788ull);
+  EXPECT_EQ(mem.MappedPageCount(), 2u);
+}
+
+TEST(SimMemory, BulkBytesAndFill) {
+  SimMemory mem;
+  std::vector<std::uint8_t> src(10000);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  mem.WriteBytes(0x100, src.data(), src.size());
+  std::vector<std::uint8_t> dst(src.size());
+  mem.ReadBytes(0x100, dst.data(), dst.size());
+  EXPECT_EQ(src, dst);
+
+  mem.Fill(0x100, 10000, 0xAB);
+  mem.ReadBytes(0x100, dst.data(), dst.size());
+  for (const std::uint8_t b : dst) {
+    ASSERT_EQ(b, 0xAB);
+  }
+}
+
+TEST(SimMemory, DiscardDropsPages) {
+  SimMemory mem;
+  mem.Write<std::uint64_t>(0x2000, 7);
+  mem.Write<std::uint64_t>(0x3000, 8);
+  EXPECT_EQ(mem.MappedPageCount(), 2u);
+  mem.Discard(0x2000, 4096);
+  EXPECT_EQ(mem.Read<std::uint64_t>(0x2000), 0u);
+  EXPECT_EQ(mem.Read<std::uint64_t>(0x3000), 8u);
+  EXPECT_EQ(mem.MappedPageCount(), 1u);
+}
+
+TEST(SimMemory, HighAddressesWork) {
+  SimMemory mem;
+  const Addr a = 0x0700'0000'0000ull;
+  mem.Write<std::uint64_t>(a, 99);
+  EXPECT_EQ(mem.Read<std::uint64_t>(a), 99u);
+}
+
+}  // namespace
+}  // namespace ngx

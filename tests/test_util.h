@@ -1,0 +1,108 @@
+// Shared test helpers.
+#ifndef NGX_TESTS_TEST_UTIL_H_
+#define NGX_TESTS_TEST_UTIL_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/alloc/allocator.h"
+#include "src/sim/machine.h"
+#include "src/workload/rng.h"
+
+namespace ngx {
+
+inline std::unique_ptr<Machine> MakeMachine(int cores = 2) {
+  return std::make_unique<Machine>(MachineConfig::Default(cores));
+}
+
+// Random malloc/free exerciser with a host-side shadow heap. Checks, for
+// every allocator:
+//  * blocks are >= 16-byte aligned,
+//  * usable size covers the request,
+//  * no two live blocks overlap,
+//  * block contents survive (the allocator never scribbles on live data).
+class ShadowHeapExerciser {
+ public:
+  ShadowHeapExerciser(Machine& machine, Allocator& alloc, std::uint64_t seed)
+      : machine_(&machine), alloc_(&alloc), rng_(seed) {}
+
+  // Runs `ops` operations from core `core`, keeping at most `max_live`
+  // blocks. Returns false on OOM (treated as a test failure by callers).
+  void Run(int core, std::uint32_t ops, std::uint32_t max_live, std::uint64_t min_size = 1,
+           std::uint64_t max_size = 4096) {
+    Env env(*machine_, core);
+    for (std::uint32_t i = 0; i < ops; ++i) {
+      const bool do_malloc = live_.size() < 2 || (live_.size() < max_live && rng_.Chance(1, 2));
+      if (do_malloc) {
+        const std::uint64_t size = rng_.Range(min_size, max_size);
+        const Addr addr = alloc_->Malloc(env, size);
+        ASSERT_NE(addr, kNullAddr) << "OOM after " << i << " ops (size " << size << ")";
+        ASSERT_EQ(addr % 16, 0u) << "misaligned block";
+        const std::uint64_t usable = alloc_->UsableSize(env, addr);
+        ASSERT_GE(usable, size);
+        AssertDisjoint(addr, size);
+        const std::uint8_t pattern = static_cast<std::uint8_t>(rng_.Next());
+        // Fill (un-timed: direct memory write keeps tests fast).
+        machine_->memory().Fill(addr, size, pattern);
+        env.TouchWrite(addr, static_cast<std::uint32_t>(std::min<std::uint64_t>(size, 128)));
+        live_.emplace(addr, Block{size, pattern});
+      } else {
+        auto it = live_.begin();
+        std::advance(it, static_cast<long>(rng_.Below(live_.size())));
+        CheckPattern(it->first, it->second);
+        alloc_->Free(env, it->first);
+        live_.erase(it);
+      }
+    }
+  }
+
+  void FreeAll(int core) {
+    Env env(*machine_, core);
+    for (const auto& [addr, block] : live_) {
+      CheckPattern(addr, block);
+      alloc_->Free(env, addr);
+    }
+    live_.clear();
+  }
+
+  std::size_t live_count() const { return live_.size(); }
+
+ private:
+  struct Block {
+    std::uint64_t size;
+    std::uint8_t pattern;
+  };
+
+  void AssertDisjoint(Addr addr, std::uint64_t size) {
+    auto next = live_.lower_bound(addr);
+    if (next != live_.end()) {
+      ASSERT_LE(addr + size, next->first) << "overlaps following block";
+    }
+    if (next != live_.begin()) {
+      auto prev = std::prev(next);
+      ASSERT_LE(prev->first + prev->second.size, addr) << "overlaps preceding block";
+    }
+  }
+
+  void CheckPattern(Addr addr, const Block& block) {
+    // Spot-check first/last bytes (full scans would dominate test time).
+    std::uint8_t first = 0;
+    std::uint8_t last = 0;
+    machine_->memory().ReadBytes(addr, &first, 1);
+    machine_->memory().ReadBytes(addr + block.size - 1, &last, 1);
+    ASSERT_EQ(first, block.pattern) << "front of block clobbered";
+    ASSERT_EQ(last, block.pattern) << "back of block clobbered";
+  }
+
+  Machine* machine_;
+  Allocator* alloc_;
+  Rng rng_;
+  std::map<Addr, Block> live_;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_TESTS_TEST_UTIL_H_

@@ -1,0 +1,169 @@
+// Detailed workload-generator properties and serialization edge cases.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/alloc/registry.h"
+#include "src/workload/false_sharing.h"
+#include "src/workload/runner.h"
+#include "src/workload/report.h"
+#include "src/workload/size_dist.h"
+#include "src/workload/trace.h"
+#include "src/workload/xalanc.h"
+#include "src/workload/xmalloc.h"
+#include "tests/test_util.h"
+
+namespace ngx {
+namespace {
+
+TEST(SizeDistribution, SamplesStayInDeclaredBuckets) {
+  Rng rng(1);
+  SizeDist d({{50, 16, 64}, {50, 1000, 2000}});
+  int small = 0;
+  int large = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t s = d.Sample(rng);
+    if (s <= 64) {
+      ASSERT_GE(s, 16u);
+      ++small;
+    } else {
+      ASSERT_GE(s, 1000u);
+      ASSERT_LE(s, 2000u);
+      ++large;
+    }
+  }
+  // 50/50 weights: both buckets well represented.
+  EXPECT_GT(small, 2000);
+  EXPECT_GT(large, 2000);
+}
+
+TEST(SizeDistribution, PresetsAreSane) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(SizeDist::XalancNodes().Sample(rng), 256u);
+    EXPECT_LE(SizeDist::XalancStrings().Sample(rng), 512u);
+    const std::uint64_t x = SizeDist::XmallocBlocks().Sample(rng);
+    EXPECT_GE(x, 64u);
+    EXPECT_LE(x, 256u);
+  }
+}
+
+TEST(XalancWorkload, AllocationCountsMatchStructure) {
+  Machine m(MachineConfig::Default(1));
+  auto alloc = CreateAllocator("tcmalloc", m);
+  XalancConfig cfg;
+  cfg.documents = 3;
+  cfg.nodes_per_doc = 200;
+  cfg.temp_alloc_percent = 0;  // no randomness in the malloc count
+  cfg.retain_percent = 0;
+  XalancLike workload(cfg);
+  RunOptions opt;
+  opt.cores = {0};
+  RunWorkload(m, *alloc, workload, opt);
+  const AllocatorStats s = alloc->stats();
+  // Per document: node+string per node, plus ceil(200/64)=4 serialize buffers.
+  const std::uint64_t expected = 3ull * (200 * 2 + 4);
+  EXPECT_EQ(s.mallocs, expected);
+  EXPECT_EQ(s.frees, expected);
+}
+
+TEST(XalancWorkload, MallocShareIsSmallForModernAllocator) {
+  Machine m(MachineConfig::ScaledWorkstation(1));
+  auto alloc = CreateAllocator("tcmalloc", m);
+  XalancConfig cfg;
+  cfg.documents = 3;
+  cfg.nodes_per_doc = 2000;
+  cfg.compute_per_node = 1600;
+  XalancLike workload(cfg);
+  RunOptions opt;
+  opt.cores = {0};
+  const RunResult r = RunWorkload(m, *alloc, workload, opt);
+  // The paper's framing: only a few percent of time in malloc/free.
+  EXPECT_LT(r.MallocTimeShare(), 0.10);
+  EXPECT_GT(r.MallocTimeShare(), 0.0);
+}
+
+TEST(XmallocWorkload, HandoffPreservesEveryBlock) {
+  Machine m(MachineConfig::Default(3));
+  auto alloc = CreateAllocator("jemalloc", m);
+  XmallocConfig cfg;
+  cfg.ops_per_thread = 700;
+  XmallocLike workload(cfg);
+  RunOptions opt;
+  opt.cores = {0, 1, 2};
+  RunWorkload(m, *alloc, workload, opt);
+  const AllocatorStats s = alloc->stats();
+  EXPECT_EQ(s.mallocs, 3u * 700u);
+  EXPECT_EQ(s.frees, s.mallocs) << "every produced block must be consumed";
+}
+
+TEST(FalseSharingWorkloads, RunToCompletionOnAllCores) {
+  for (const bool thrash : {true, false}) {
+    Machine m(MachineConfig::Default(4));
+    auto alloc = CreateAllocator("ptmalloc2", m);
+    FalseSharingConfig cfg;
+    cfg.iterations = 200;
+    std::unique_ptr<Workload> workload;
+    if (thrash) {
+      workload = std::make_unique<CacheThrash>(cfg);
+    } else {
+      workload = std::make_unique<CacheScratch>(cfg);
+    }
+    RunOptions opt;
+    opt.cores = {0, 1, 2, 3};
+    RunWorkload(m, *alloc, *workload, opt);
+    const AllocatorStats s = alloc->stats();
+    EXPECT_EQ(s.mallocs, s.frees);
+    EXPECT_GE(s.mallocs, 4u * 200u);
+  }
+}
+
+TEST(TraceFormat, EmptyTraceRoundTrips) {
+  Trace t;
+  t.num_threads = 4;
+  std::stringstream ss;
+  t.Save(ss);
+  const Trace loaded = Trace::Load(ss);
+  EXPECT_EQ(loaded.ops.size(), 0u);
+  EXPECT_EQ(loaded.num_threads, 4u);
+}
+
+TEST(TraceFormat, RecorderIgnoresForeignFrees) {
+  Machine m(MachineConfig::Default(1));
+  auto inner = CreateAllocator("tcmalloc", m);
+  TraceRecordingAllocator rec(*inner);
+  Env env(m, 0);
+  const Addr a = rec.Malloc(env, 64);
+  rec.Free(env, a);
+  rec.Free(env, kNullAddr);  // no crash, no bogus op
+  const Trace t = rec.TakeTrace();
+  EXPECT_EQ(t.ops.size(), 2u);
+}
+
+TEST(TraceFormat, ReplayAcrossFewerCoresFoldsThreads) {
+  // A trace recorded on 3 threads replays on 2 cores via modulo mapping.
+  Trace t;
+  t.num_threads = 3;
+  for (std::uint32_t th = 0; th < 3; ++th) {
+    t.ops.push_back(TraceOp{TraceOp::Kind::kMalloc, th, th, 64});
+    t.ops.push_back(TraceOp{TraceOp::Kind::kFree, th, th, 0});
+  }
+  Machine m(MachineConfig::Default(2));
+  auto alloc = CreateAllocator("mimalloc", m);
+  TraceReplay replay(t);
+  RunOptions opt;
+  opt.cores = {0, 1};
+  RunWorkload(m, *alloc, replay, opt);
+  EXPECT_EQ(alloc->stats().mallocs, 3u);
+  EXPECT_EQ(alloc->stats().frees, 3u);
+}
+
+TEST(Report, EmptyTableHasHeaderOnly) {
+  TextTable t({"one", "two"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("one"), std::string::npos);
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);  // header + rule
+}
+
+}  // namespace
+}  // namespace ngx
