@@ -33,10 +33,12 @@ AtomicsResult RunCase(bool offload, bool remove_atomics) {
   RunOptions opt;
   opt.cores = {0};
   opt.seed = 7;
-  opt.server_core = offload ? 1 : -1;
+  if (offload) {
+    opt.server_cores = {1};
+  }
   const RunResult r = RunWorkload(machine, *sys.allocator, workload, opt);
-  if (sys.engine) {
-    sys.engine->DrainAll();
+  if (sys.fabric) {
+    sys.fabric->DrainAll();
   }
   AtomicsResult out;
   out.config = std::string(offload ? "offloaded" : "inline") +

@@ -32,9 +32,9 @@ CoreTypeResult RunCase(const std::string& label, const CoreConfig& server_core_c
   RunOptions opt;
   opt.cores = {0};
   opt.seed = 7;
-  opt.server_core = 1;
+  opt.server_cores = {1};
   const RunResult r = RunWorkload(machine, *sys.allocator, workload, opt);
-  sys.engine->DrainAll();
+  sys.fabric->DrainAll();
   CoreTypeResult out;
   out.core_type = label;
   out.wall = r.wall_cycles;

@@ -35,9 +35,9 @@ LayoutE2E RunCase(bool segregated) {
   RunOptions opt;
   opt.cores = {0};
   opt.seed = 7;
-  opt.server_core = 1;
+  opt.server_cores = {1};
   const RunResult r = RunWorkload(machine, *sys.allocator, workload, opt);
-  sys.engine->DrainAll();
+  sys.fabric->DrainAll();
   LayoutE2E out;
   out.layout = segregated ? "segregated (16-bit side tables)" : "aggregated (intrusive links)";
   out.wall = r.wall_cycles;

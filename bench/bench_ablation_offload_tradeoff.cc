@@ -44,9 +44,9 @@ std::uint64_t RunNgx(std::uint64_t transfer_latency, bool async_free,
   RunOptions opt;
   opt.cores = {0};
   opt.seed = 7;
-  opt.server_core = 1;
+  opt.server_cores = {1};
   const RunResult r = RunWorkload(machine, *sys.allocator, workload, opt);
-  sys.engine->DrainAll();
+  sys.fabric->DrainAll();
   return r.wall_cycles;
 }
 

@@ -33,9 +33,9 @@ PredResult RunCase(bool prediction, std::uint32_t max_batch) {
   RunOptions opt;
   opt.cores = {0};
   opt.seed = 7;
-  opt.server_core = 1;
+  opt.server_cores = {1};
   const RunResult r = RunWorkload(machine, *sys.allocator, workload, opt);
-  sys.engine->DrainAll();
+  sys.fabric->DrainAll();
   PredResult out;
   out.config = prediction ? "prediction, batch<=" + std::to_string(max_batch) : "no prediction";
   out.wall = r.wall_cycles;

@@ -1,0 +1,102 @@
+// Ablation for Section 3.1.1's provisioning-granularity question: "one
+// allocator core per application, per several applications, or per thread
+// group?"
+//
+// The offload fabric makes the answer a sweep: shards x clients, with each
+// shard owning a dedicated server core and a disjoint heap partition. As the
+// client count grows, a single server core serializes everyone (visible as
+// server_busy_waits); adding shards splits the queueing. The bench reports
+// wall cycles, per-shard queueing, and the app-side LLC / dTLB MPKI so the
+// cost of extra cores can be weighed against the contention relief.
+#include "bench/bench_common.h"
+#include "src/workload/xmalloc.h"
+
+using namespace ngx;
+using namespace ngx::bench;
+
+namespace {
+
+struct SweepPoint {
+  int clients = 0;
+  int shards = 0;
+  std::uint64_t wall = 0;
+  std::uint64_t total_busy_waits = 0;
+  std::uint64_t max_shard_busy_waits = 0;
+  std::vector<std::uint64_t> per_shard_busy_waits;
+  double llc_load_mpki = 0;
+  double dtlb_load_mpki = 0;
+};
+
+SweepPoint RunCase(int clients, int shards) {
+  Machine machine(MachineConfig::Default(clients + shards));
+  NgxConfig cfg = NgxConfig::PaperPrototype();
+  cfg.num_shards = shards;
+  cfg.routing = RoutingKind::kStaticByClient;
+  NgxSystem sys = MakeNgxSystem(machine, cfg, /*first_server_core=*/clients);
+  XmallocConfig wl_cfg;
+  wl_cfg.ops_per_thread = 2000;
+  XmallocLike workload(wl_cfg);
+  RunOptions opt;
+  opt.cores = FirstCores(clients);
+  opt.seed = 7;
+  for (int s = 0; s < shards; ++s) {
+    opt.server_cores.push_back(clients + s);
+  }
+  const RunResult r = RunWorkload(machine, *sys.allocator, workload, opt);
+  sys.fabric->DrainAll();
+
+  SweepPoint out;
+  out.clients = clients;
+  out.shards = shards;
+  out.wall = r.wall_cycles;
+  for (int s = 0; s < shards; ++s) {
+    const std::uint64_t waits = sys.fabric->shard_stats(s).server_busy_waits;
+    out.per_shard_busy_waits.push_back(waits);
+    out.total_busy_waits += waits;
+    out.max_shard_busy_waits = std::max(out.max_shard_busy_waits, waits);
+  }
+  out.llc_load_mpki = r.app.LlcLoadMpki();
+  out.dtlb_load_mpki = r.app.DtlbLoadMpki();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation (3.1.1): allocator-core provisioning granularity ===\n\n";
+
+  TextTable t({"clients", "shards", "wall cycles", "busy waits (total)",
+               "busy waits (max shard)", "LLC-load-MPKI", "dTLB-load-MPKI"});
+  std::vector<SweepPoint> points;
+  for (const int clients : {1, 2, 4, 8}) {
+    for (const int shards : {1, 2, 4}) {
+      if (shards > clients) {
+        continue;  // more rooms than tenants: nothing left to split
+      }
+      const SweepPoint p = RunCase(clients, shards);
+      points.push_back(p);
+      t.AddRow({FormatInt(p.clients), FormatInt(p.shards),
+                FormatSci(static_cast<double>(p.wall)), FormatInt(p.total_busy_waits),
+                FormatInt(p.max_shard_busy_waits), FormatFixed(p.llc_load_mpki, 3),
+                FormatFixed(p.dtlb_load_mpki, 3)});
+      std::cerr << "[done] clients=" << clients << " shards=" << shards << "\n";
+    }
+  }
+  std::cout << t.ToString() << "\n";
+
+  // The headline: at 8 clients, what does each extra shard buy?
+  std::cout << "--- 8 clients: queueing relief per shard ---\n";
+  TextTable relief({"shards", "busiest-shard waits", "wall cycles"});
+  for (const SweepPoint& p : points) {
+    if (p.clients != 8) {
+      continue;
+    }
+    relief.AddRow({FormatInt(p.shards), FormatInt(p.max_shard_busy_waits),
+                   FormatSci(static_cast<double>(p.wall))});
+  }
+  std::cout << relief.ToString() << "\n";
+  std::cout << "expectation: the busiest shard's queueing shrinks as the client set is\n"
+            << "split across more allocator cores -- one room per application is the\n"
+            << "wrong granularity once several threads share it.\n";
+  return 0;
+}

@@ -68,11 +68,13 @@ inline XalancRun RunXalancNextGen(const NgxConfig& cfg, const XalancConfig& wl_c
   RunOptions opt;
   opt.cores = {0};
   opt.seed = seed;
-  opt.server_core = cfg.offload ? 1 : -1;
+  if (cfg.offload) {
+    opt.server_cores = {1};
+  }
   XalancRun out;
   out.result = RunWorkload(machine, *sys.allocator, workload, opt);
-  if (sys.engine) {
-    sys.engine->DrainAll();
+  if (sys.fabric) {
+    sys.fabric->DrainAll();
   }
   out.allocator = "nextgen";
   return out;

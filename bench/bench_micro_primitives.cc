@@ -128,7 +128,7 @@ void BM_ChannelRoundTrip(benchmark::State& state) {
   std::uint64_t cycles0 = env.now();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        sys.engine->SyncRequest(env, OffloadOp::kUsableSize,
+        sys.fabric->SyncRequest(env, /*shard=*/0, OffloadOp::kUsableSize,
                                 sys.allocator->Malloc(env, 64)));
     ++n;
   }

@@ -63,9 +63,9 @@ int main() {
   RunOptions opt_ngx;
   opt_ngx.cores = {0};
   opt_ngx.seed = 7;
-  opt_ngx.server_core = 1;
+  opt_ngx.server_cores = {1};
   const RunResult r_ngx = RunWorkload(m_ngx, *sys.allocator, wl_ngx, opt_ngx);
-  sys.engine->DrainAll();
+  sys.fabric->DrainAll();
   std::cerr << "[done] nextgen\n";
 
   // The same prototype with Section 3.3.2's predictive preallocation: the
@@ -77,7 +77,7 @@ int main() {
   XalancLike wl_pred(wl);
   RunOptions opt_pred = opt_ngx;
   const RunResult r_pred = RunWorkload(m_pred, *pred_sys.allocator, wl_pred, opt_pred);
-  pred_sys.engine->DrainAll();
+  pred_sys.fabric->DrainAll();
   std::cerr << "[done] nextgen+prediction\n";
 
   TextTable t({"counter (app core)", "Mimalloc", "NextGen-Malloc"});

@@ -76,16 +76,16 @@ int main(int argc, char** argv) {
 
   RunOptions opt;
   opt.cores = FirstCores(kAppThreads);
-  opt.server_core = server;
+  opt.server_cores = {server};
   const RunResult r = RunWorkload(machine, *sys.allocator, *workload, opt);
-  sys.engine->DrainAll();
+  sys.fabric->DrainAll();
 
   std::cout << "application cores (" << kAppThreads << "):\n" << r.app.ToString() << "\n";
   std::cout << "allocator core:\n" << r.server.ToString() << "\n";
   std::cout << "wall cycles: " << FormatSci(static_cast<double>(r.wall_cycles))
             << "   time in alloc stubs: " << FormatFixed(100.0 * r.MallocTimeShare(), 2)
             << "%\n";
-  const OffloadEngineStats& es = sys.engine->stats();
+  const OffloadEngineStats es = sys.fabric->TotalStats();
   std::cout << "engine: " << es.sync_requests << " round trips, " << es.async_ops
             << " async frees, " << es.ring_full_stalls << " ring-full stalls, "
             << es.server_busy_waits << " queueing waits\n";

@@ -15,7 +15,7 @@ int main() {
   // A 4-core machine; NextGen-Malloc gets core 3 as its own room.
   Machine machine(MachineConfig::Default(4));
   NgxSystem sys = MakeNgxSystem(machine, NgxConfig::PaperPrototype());
-  std::cout << "allocator server runs on core " << sys.engine->server_core() << "\n\n";
+  std::cout << "allocator server runs on core " << sys.fabric->server_cores()[0] << "\n\n";
 
   // The application runs on core 0. Every Load/Store below is a *timed*
   // simulated access that walks the cache/TLB hierarchy.

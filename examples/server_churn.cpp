@@ -49,9 +49,9 @@ int main(int argc, char** argv) {
     LarsonLike workload(wl_cfg);
     RunOptions opt;
     opt.cores = FirstCores(threads);
-    opt.server_core = threads;
+    opt.server_cores = {threads};
     const RunResult r = RunWorkload(machine, *sys.allocator, workload, opt);
-    sys.engine->DrainAll();
+    sys.fabric->DrainAll();
     t.AddRow({"nextgen (+1 core)", FormatSci(static_cast<double>(r.wall_cycles)),
               FormatSci(static_cast<double>(r.app.llc_load_misses)),
               FormatSci(static_cast<double>(r.app.remote_hitm)),

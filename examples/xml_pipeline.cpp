@@ -53,9 +53,9 @@ int main(int argc, char** argv) {
     XalancLike workload(wl_cfg);
     RunOptions opt;
     opt.cores = {0};
-    opt.server_core = 1;
+    opt.server_cores = {1};
     const RunResult r = RunWorkload(machine, *sys.allocator, workload, opt);
-    sys.engine->DrainAll();
+    sys.fabric->DrainAll();
     t.AddRow({"nextgen (offloaded)", FormatSci(static_cast<double>(r.wall_cycles)),
               FormatFixed(r.app.LlcLoadMpki(), 3), FormatFixed(r.app.DtlbLoadMpki(), 3),
               FormatFixed(100.0 * r.MallocTimeShare(), 1) + "%",

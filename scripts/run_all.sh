@@ -2,7 +2,19 @@
 # Builds, tests, and regenerates every paper table/figure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
-cmake --build build
+# Prefer Ninja on a fresh configure; an already-configured build tree keeps
+# whatever generator it has (cmake rejects switching generators in place).
+if [ ! -f build/CMakeCache.txt ] && command -v ninja > /dev/null 2>&1; then
+  cmake -B build -G Ninja
+else
+  cmake -B build
+fi
+cmake --build build -j
 ctest --test-dir build 2>&1 | tee test_output.txt
-for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+# Only run the actual bench executables: the build tree may also place
+# directories or non-executable artifacts under build/bench/.
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    "$b"
+  fi
+done 2>&1 | tee bench_output.txt

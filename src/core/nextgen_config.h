@@ -11,12 +11,22 @@
 
 #include <cstdint>
 
+#include "src/offload/routing.h"
+
 namespace ngx {
 
 struct NgxConfig {
   // Run malloc/free on a dedicated core via the offload engine. When false,
   // the allocator runs inline on the application cores (MMT-style ablation).
   bool offload = true;
+
+  // Section 3.1.1's provisioning granularity: how many allocator shards the
+  // offload fabric runs, each with its own server core, heap partition and
+  // per-(client, shard) channels. 1 = the paper's single-room prototype.
+  int num_shards = 1;
+
+  // How mallocs pick a shard (frees always return to the owning shard).
+  RoutingKind routing = RoutingKind::kStaticByClient;
 
   // Frees ride the fire-and-forget ring instead of a round trip.
   bool async_free = true;

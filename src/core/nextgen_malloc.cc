@@ -3,24 +3,43 @@
 #include <cassert>
 
 #include "src/alloc/layout.h"
+#include "src/sim/check.h"
 
 namespace ngx {
 
-NgxAllocator::NgxAllocator(Machine& machine, OffloadEngine* engine, const NgxConfig& config)
+NgxAllocator::NgxAllocator(Machine& machine, OffloadFabric* fabric, const NgxConfig& config)
     : machine_(&machine),
       config_(config),
       classes_(32 * 1024),
-      engine_(engine) {
-  assert((engine != nullptr) == config.offload);
+      fabric_(fabric) {
+  NGX_CHECK((fabric != nullptr) == config.offload,
+            "offloaded allocators need a fabric; inline ones must not have one");
+  const int nshards = fabric != nullptr ? fabric->num_shards() : 1;
+  NGX_CHECK(fabric == nullptr || nshards == config.num_shards,
+            "fabric shard count must match config.num_shards");
+  NGX_CHECK(nshards >= 1 && static_cast<std::uint64_t>(nshards) <= kHeapWindow / (1u << 30),
+            "shard count out of range for the heap window");
   ServerHeapConfig hc;
   hc.span_bytes = 64 * 1024;  // page-granular spans: reuse locality
   hc.hugepage_spans = config.hugepage_spans;
   // Section 3.1.3: the dedicated core serializes operations, so the lock can
   // go. Inline (non-offloaded) mode keeps it unless explicitly removed.
   hc.use_lock = !config.remove_atomics;
-  heap_ = MakeServerHeap(machine, config.segregated_metadata, kNgxHeapBase, kNgxMetaBase, hc);
-  if (engine != nullptr) {
-    engine->set_server(this);
+  // Equal disjoint partitions of the NextGen heap/metadata windows: shard s
+  // owns [base + s*window, base + (s+1)*window), making address->shard
+  // ownership a divide.
+  shard_window_ = kHeapWindow / static_cast<std::uint64_t>(nshards);
+  hc.window_bytes = shard_window_;
+  heaps_.reserve(static_cast<std::size_t>(nshards));
+  shard_servers_.reserve(static_cast<std::size_t>(nshards));
+  for (int s = 0; s < nshards; ++s) {
+    const std::uint64_t off = shard_window_ * static_cast<std::uint64_t>(s);
+    heaps_.push_back(MakeServerHeap(machine, config.segregated_metadata, kNgxHeapBase + off,
+                                    kNgxMetaBase + off, hc));
+    if (fabric != nullptr) {
+      shard_servers_.push_back(std::make_unique<ShardServer>(this, s));
+      fabric->set_server(s, shard_servers_.back().get());
+    }
   }
   if (config.prediction) {
     predictor_.emplace(machine.num_cores(), classes_.num_classes(), config.max_predict_batch);
@@ -33,9 +52,18 @@ NgxAllocator::NgxAllocator(Machine& machine, OffloadEngine* engine, const NgxCon
   }
 }
 
+int NgxAllocator::ShardOfAddr(Addr addr) const {
+  if (heaps_.size() == 1) {
+    return 0;
+  }
+  assert(addr >= kNgxHeapBase && addr < kNgxHeapBase + kHeapWindow &&
+         "address outside the NextGen heap window");
+  return static_cast<int>((addr - kNgxHeapBase) / shard_window_);
+}
+
 Addr NgxAllocator::Malloc(Env& env, std::uint64_t size) {
   if (!config_.offload) {
-    return heap_->Malloc(env, size);
+    return heaps_[0]->Malloc(env, size);
   }
   env.Work(4);  // stub dispatch
   if (config_.prediction && size <= classes_.max_size()) {
@@ -47,10 +75,12 @@ Addr NgxAllocator::Malloc(Env& env, std::uint64_t size) {
       return block;
     }
     ++sync_mallocs_;
-    return engine_->SyncRequest(env, OffloadOp::kMallocBatch, size);
+    const int shard = fabric_->RouteMalloc(env.core_id(), size, cls);
+    return fabric_->SyncRequest(env, shard, OffloadOp::kMallocBatch, size);
   }
   ++sync_mallocs_;
-  return engine_->SyncRequest(env, OffloadOp::kMalloc, size);
+  const int shard = fabric_->RouteMalloc(env.core_id(), size, RouteClassOf(size));
+  return fabric_->SyncRequest(env, shard, OffloadOp::kMalloc, size);
 }
 
 void NgxAllocator::Free(Env& env, Addr addr) {
@@ -58,22 +88,25 @@ void NgxAllocator::Free(Env& env, Addr addr) {
     return;
   }
   if (!config_.offload) {
-    heap_->Free(env, addr);
+    heaps_[0]->Free(env, addr);
     return;
   }
   env.Work(3);
+  // A block is always returned to the shard owning its heap partition, no
+  // matter which client frees it or which policy routed the malloc.
+  const int shard = ShardOfAddr(addr);
   if (config_.async_free) {
-    engine_->AsyncRequest(env, OffloadOp::kFree, addr);
+    fabric_->AsyncRequest(env, shard, OffloadOp::kFree, addr);
   } else {
-    engine_->SyncRequest(env, OffloadOp::kFree, addr);
+    fabric_->SyncRequest(env, shard, OffloadOp::kFree, addr);
   }
 }
 
 std::uint64_t NgxAllocator::UsableSize(Env& env, Addr addr) {
   if (!config_.offload) {
-    return heap_->UsableSize(env, addr);
+    return heaps_[0]->UsableSize(env, addr);
   }
-  return engine_->SyncRequest(env, OffloadOp::kUsableSize, addr);
+  return fabric_->SyncRequest(env, ShardOfAddr(addr), OffloadOp::kUsableSize, addr);
 }
 
 void NgxAllocator::Flush(Env& env) {
@@ -81,26 +114,30 @@ void NgxAllocator::Flush(Env& env) {
     return;
   }
   // Push pending async frees through, and return any stashed blocks so
-  // footprint accounting settles.
+  // footprint accounting settles. Stashed blocks may have been batched by
+  // any shard; each goes back to its owner.
   if (config_.prediction) {
     for (std::uint32_t cls = 0; cls < classes_.num_classes(); ++cls) {
       IndexStack stash = Stash(env.core_id(), cls);
       std::uint64_t block = 0;
       while (stash.Pop(env, &block)) {
-        engine_->AsyncRequest(env, OffloadOp::kFree, block);
+        fabric_->AsyncRequest(env, ShardOfAddr(block), OffloadOp::kFree, block);
       }
     }
   }
-  engine_->SyncRequest(env, OffloadOp::kFlush, 0);
+  for (int s = 0; s < fabric_->num_shards(); ++s) {
+    fabric_->SyncRequest(env, s, OffloadOp::kFlush, 0);
+  }
 }
 
-std::uint64_t NgxAllocator::HandleRequest(Env& server_env, int client, OffloadOp op,
-                                          std::uint64_t arg) {
+std::uint64_t NgxAllocator::HandleShardRequest(Env& server_env, int shard, int client,
+                                               OffloadOp op, std::uint64_t arg) {
+  ServerHeap& heap = *heaps_[static_cast<std::size_t>(shard)];
   switch (op) {
     case OffloadOp::kMalloc:
-      return heap_->Malloc(server_env, arg);
+      return heap.Malloc(server_env, arg);
     case OffloadOp::kMallocBatch: {
-      const Addr first = heap_->Malloc(server_env, arg);
+      const Addr first = heap.Malloc(server_env, arg);
       if (first == kNullAddr || !config_.prediction) {
         return first;
       }
@@ -111,10 +148,10 @@ std::uint64_t NgxAllocator::HandleRequest(Env& server_env, int client, OffloadOp
       for (std::uint32_t i = 0; i < batch; ++i) {
         // Preallocate the class size so any request that maps to `cls` can
         // reuse the block.
-        const Addr b = heap_->Malloc(server_env, classes_.SizeOf(cls));
+        const Addr b = heap.Malloc(server_env, classes_.SizeOf(cls));
         if (b == kNullAddr || !stash.Push(server_env, b)) {
           if (b != kNullAddr) {
-            heap_->Free(server_env, b);
+            heap.Free(server_env, b);
           }
           break;
         }
@@ -122,35 +159,68 @@ std::uint64_t NgxAllocator::HandleRequest(Env& server_env, int client, OffloadOp
       return first;
     }
     case OffloadOp::kFree:
-      heap_->Free(server_env, arg);
+      assert(ShardOfAddr(arg) == shard && "free drained by a non-owning shard");
+      heap.Free(server_env, arg);
       return 0;
     case OffloadOp::kUsableSize:
-      return heap_->UsableSize(server_env, arg);
+      return heap.UsableSize(server_env, arg);
     case OffloadOp::kFlush:
       return 0;
   }
   return 0;
 }
 
-AllocatorStats NgxAllocator::stats() const { return heap_->stats(); }
+AllocatorStats NgxAllocator::stats() const {
+  AllocatorStats total = heaps_[0]->stats();
+  for (std::size_t s = 1; s < heaps_.size(); ++s) {
+    const AllocatorStats h = heaps_[s]->stats();
+    total.mallocs += h.mallocs;
+    total.frees += h.frees;
+    total.bytes_requested += h.bytes_requested;
+    total.bytes_live += h.bytes_live;
+    total.mapped_bytes += h.mapped_bytes;
+    total.mmap_calls += h.mmap_calls;
+    total.munmap_calls += h.munmap_calls;
+    total.oom_failures += h.oom_failures;
+  }
+  return total;
+}
 
-NgxSystem MakeNgxSystem(Machine& machine, const NgxConfig& config, int server_core) {
+NgxSystem MakeNgxSystem(Machine& machine, const NgxConfig& config,
+                        std::vector<int> server_cores) {
   NgxSystem sys;
   if (config.offload) {
-    if (server_core < 0) {
-      server_core = machine.num_cores() - 1;
-    }
-    sys.engine = std::make_unique<OffloadEngine>(machine, server_core, kChannelBase,
-                                                 config.ring_capacity);
-    machine.address_map().Add(Region{kChannelBase,
-                                     kChannelStride * static_cast<std::uint64_t>(
-                                                          machine.num_cores()),
-                                     PageKind::kSmall4K, "channel"});
-    sys.allocator = std::make_unique<NgxAllocator>(machine, sys.engine.get(), config);
+    NGX_CHECK(static_cast<int>(server_cores.size()) == config.num_shards,
+              "server core list size must equal config.num_shards");
+    sys.fabric = std::make_unique<OffloadFabric>(machine, std::move(server_cores),
+                                                 kChannelBase, config.ring_capacity,
+                                                 MakeRoutingPolicy(config.routing));
+    machine.address_map().Add(
+        Region{kChannelBase,
+               OffloadFabric::ChannelRegionBytes(machine, config.num_shards),
+               PageKind::kSmall4K, "channel"});
+    sys.allocator = std::make_unique<NgxAllocator>(machine, sys.fabric.get(), config);
   } else {
     sys.allocator = std::make_unique<NgxAllocator>(machine, nullptr, config);
   }
   return sys;
+}
+
+NgxSystem MakeNgxSystem(Machine& machine, const NgxConfig& config, int first_server_core) {
+  if (!config.offload) {
+    return MakeNgxSystem(machine, config, std::vector<int>{});
+  }
+  NGX_CHECK(config.num_shards >= 1 && config.num_shards < machine.num_cores(),
+            "need at least one application core beside the shard cores");
+  if (first_server_core < 0) {
+    first_server_core = machine.num_cores() - config.num_shards;
+  }
+  std::vector<int> cores;
+  cores.reserve(static_cast<std::size_t>(config.num_shards));
+  for (int s = 0; s < config.num_shards; ++s) {
+    cores.push_back(first_server_core + s);
+  }
+  return MakeNgxSystem(machine, config, std::move(cores));
 }
 
 }  // namespace ngx

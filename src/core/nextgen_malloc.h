@@ -6,13 +6,20 @@
 //    the async ring (Section 3.1.2: "the entire free phase is not on the
 //    critical path"). With prediction enabled, a per-core stash absorbs
 //    same-class allocation runs without any round trip (Section 3.3.2).
-//  * A server bound to the OffloadEngine's dedicated core, running a
-//    single-owner heap whose metadata never enters the application cores'
-//    caches (Section 3.1.2), with its lock atomics removed (Section 3.1.3).
+//  * N server shards behind an OffloadFabric (Section 3.1.1's provisioning
+//    granularity made configurable): each shard owns a dedicated core and a
+//    disjoint ServerHeap partition whose metadata never enters the
+//    application cores' caches (Section 3.1.2), with its lock atomics
+//    removed (Section 3.1.3). Mallocs pick a shard through the fabric's
+//    RoutingPolicy; frees and UsableSize always return to the shard that
+//    owns the block's heap partition, resolved by the address->shard map
+//    (partitions are equal slices of the NextGen heap window, so ownership
+//    is a divide -- no shared lookup structure to bounce between cores).
 //
 // Set config.offload = false for the MMT-style inline ablation: the same
 // heap runs on the calling core (the lock must then be kept when several
-// threads share it).
+// threads share it). config.num_shards = 1 reproduces the paper's 4.2
+// prototype exactly.
 #ifndef NGX_SRC_CORE_NEXTGEN_MALLOC_H_
 #define NGX_SRC_CORE_NEXTGEN_MALLOC_H_
 
@@ -25,16 +32,16 @@
 #include "src/alloc/size_classes.h"
 #include "src/core/nextgen_config.h"
 #include "src/core/server_heap.h"
-#include "src/offload/offload_engine.h"
+#include "src/offload/offload_fabric.h"
 #include "src/offload/prediction.h"
 
 namespace ngx {
 
-class NgxAllocator : public Allocator, public OffloadServer {
+class NgxAllocator : public Allocator {
  public:
-  // `engine` may be nullptr iff config.offload is false. The engine's
-  // server is set to this allocator.
-  NgxAllocator(Machine& machine, OffloadEngine* engine, const NgxConfig& config);
+  // `fabric` may be nullptr iff config.offload is false. Every fabric shard's
+  // server is bound to this allocator's matching heap partition.
+  NgxAllocator(Machine& machine, OffloadFabric* fabric, const NgxConfig& config);
 
   // ---- Allocator ----
   std::string_view name() const override { return "nextgen"; }
@@ -42,29 +49,60 @@ class NgxAllocator : public Allocator, public OffloadServer {
   void Free(Env& env, Addr addr) override;
   std::uint64_t UsableSize(Env& env, Addr addr) override;
   void Flush(Env& env) override;
-  AllocatorStats stats() const override;
+  AllocatorStats stats() const override;  // aggregated over shards
 
-  // ---- OffloadServer ----
-  std::uint64_t HandleRequest(Env& server_env, int client, OffloadOp op,
-                              std::uint64_t arg) override;
+  // Server-side dispatch for shard `shard` (called on that shard's core by
+  // the fabric through a per-shard OffloadServer adapter).
+  std::uint64_t HandleShardRequest(Env& server_env, int shard, int client, OffloadOp op,
+                                   std::uint64_t arg);
+
+  // The shard owning `addr`: heap partitions are equal slices of the
+  // NextGen heap window, so ownership is pure arithmetic.
+  int ShardOfAddr(Addr addr) const;
 
   const NgxConfig& config() const { return config_; }
-  ServerHeap& heap() { return *heap_; }
+  int num_shards() const { return static_cast<int>(heaps_.size()); }
+  ServerHeap& heap(int shard = 0) { return *heaps_[static_cast<std::size_t>(shard)]; }
+  AllocatorStats shard_stats(int shard) const {
+    return heaps_[static_cast<std::size_t>(shard)]->stats();
+  }
   std::uint64_t stash_hits() const { return stash_hits_; }
   std::uint64_t sync_mallocs() const { return sync_mallocs_; }
 
  private:
+  // Binds one fabric shard's OffloadServer callback to (allocator, shard).
+  class ShardServer : public OffloadServer {
+   public:
+    ShardServer(NgxAllocator* owner, int shard) : owner_(owner), shard_(shard) {}
+    std::uint64_t HandleRequest(Env& server_env, int client, OffloadOp op,
+                                std::uint64_t arg) override {
+      return owner_->HandleShardRequest(server_env, shard_, client, op, arg);
+    }
+
+   private:
+    NgxAllocator* owner_;
+    int shard_;
+  };
+
   IndexStack Stash(int core, std::uint32_t cls) const {
     return IndexStack(stash_base_ + stash_stride_ * static_cast<std::uint32_t>(core) +
                           stash_slot_ * cls,
                       config_.stash_capacity);
   }
 
+  // Host-side class of `size` for routing/stash decisions; sizes above the
+  // class table map to the (otherwise unused) num_classes bucket.
+  std::uint32_t RouteClassOf(std::uint64_t size) const {
+    return size <= classes_.max_size() ? classes_.ClassOf(size) : classes_.num_classes();
+  }
+
   Machine* machine_;
   NgxConfig config_;
-  SizeClasses classes_;  // client-side class computation for the stash
-  std::unique_ptr<ServerHeap> heap_;
-  OffloadEngine* engine_;
+  SizeClasses classes_;  // client-side class computation for stash/routing
+  std::vector<std::unique_ptr<ServerHeap>> heaps_;  // one partition per shard
+  std::vector<std::unique_ptr<ShardServer>> shard_servers_;
+  std::uint64_t shard_window_ = 0;  // bytes of heap window per shard
+  OffloadFabric* fabric_;
   std::optional<AllocationPredictor> predictor_;
   std::unique_ptr<PageProvider> stash_provider_;
   Addr stash_base_ = 0;
@@ -74,13 +112,22 @@ class NgxAllocator : public Allocator, public OffloadServer {
   std::uint64_t sync_mallocs_ = 0;
 };
 
-// Convenience builder: creates the engine (dedicated core = last core by
-// default) plus the allocator and wires them together.
+// Convenience builder: creates the offload fabric (config.num_shards server
+// cores) plus the allocator and wires them together.
 struct NgxSystem {
-  std::unique_ptr<OffloadEngine> engine;
+  std::unique_ptr<OffloadFabric> fabric;  // null when !config.offload
   std::unique_ptr<NgxAllocator> allocator;
 };
-NgxSystem MakeNgxSystem(Machine& machine, const NgxConfig& config, int server_core = -1);
+
+// Shards occupy the explicit core list (size must equal config.num_shards).
+NgxSystem MakeNgxSystem(Machine& machine, const NgxConfig& config,
+                        std::vector<int> server_cores);
+
+// Shards occupy cores first_server_core .. first_server_core+num_shards-1;
+// -1 places them on the machine's last num_shards cores. With num_shards = 1
+// this is the original single-server signature, unchanged for all callers.
+NgxSystem MakeNgxSystem(Machine& machine, const NgxConfig& config,
+                        int first_server_core = -1);
 
 }  // namespace ngx
 

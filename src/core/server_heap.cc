@@ -26,8 +26,10 @@ class SegregatedHeap : public ServerHeap {
                  const ServerHeapConfig& config)
       : config_(config),
         classes_(config.small_max),
-        span_provider_(heap_base, kHeapWindow, "ngx-span"),
-        meta_provider_(meta_base, kHeapWindow, "ngx-meta"),
+        span_provider_(heap_base, config.window_bytes ? config.window_bytes : kHeapWindow,
+                       "ngx-span"),
+        meta_provider_(meta_base, config.window_bytes ? config.window_bytes : kHeapWindow,
+                       "ngx-meta"),
         heap_base_(heap_base),
         lock_(0) {
     const std::uint32_t ncls = classes_.num_classes();
@@ -210,10 +212,12 @@ class AggregatedHeap : public ServerHeap {
                  const ServerHeapConfig& config)
       : config_(config),
         classes_(config.small_max),
-        provider_(heap_base, kHeapWindow, "ngx-agg"),
+        provider_(heap_base, config.window_bytes ? config.window_bytes : kHeapWindow,
+                  "ngx-agg"),
         lock_(0) {
     const std::uint32_t ncls = classes_.num_classes();
-    meta_provider_ = std::make_unique<PageProvider>(meta_base, kHeapWindow, "ngx-agg-meta");
+    meta_provider_ = std::make_unique<PageProvider>(
+        meta_base, config.window_bytes ? config.window_bytes : kHeapWindow, "ngx-agg-meta");
     meta_base_ = meta_provider_->MapAtStartup(
         machine, AlignUp(64 + 8ull * ncls + 16ull * ncls, kSmallPageBytes),
         PageKind::kSmall4K);

@@ -37,6 +37,10 @@ struct ServerHeapConfig {
   std::uint64_t span_bytes = 128 * 1024;
   std::uint64_t small_max = 32 * 1024;
   std::uint32_t stack_capacity = 8192;  // per-class free stack (segregated)
+  // Size of the heap/metadata windows starting at heap_base/meta_base.
+  // 0 means the full kHeapWindow; the sharded fabric passes
+  // kHeapWindow / num_shards so shard partitions stay disjoint.
+  std::uint64_t window_bytes = 0;
 };
 
 // Factory: `segregated` selects the layout. `heap_base`/`meta_base` carve

@@ -11,6 +11,7 @@
 
 #include <cassert>
 
+#include "src/sim/check.h"
 #include "src/sim/env.h"
 
 namespace ngx {
@@ -41,7 +42,13 @@ inline constexpr std::uint32_t kMaxRingCapacity = (kChannelStride - kRingEntries
 class Channel {
  public:
   Channel(Addr base, std::uint32_t ring_capacity)
-      : base_(base), ring_capacity_(ring_capacity) {}
+      : base_(base), ring_capacity_(ring_capacity) {
+    // Must hold in every build type: a capacity beyond kMaxRingCapacity makes
+    // EntryAddr write past this client's kChannelStride-byte block, silently
+    // corrupting the next client's mailbox under NDEBUG.
+    NGX_CHECK(ring_capacity > 0 && ring_capacity <= kMaxRingCapacity,
+              "channel ring capacity must fit inside kChannelStride");
+  }
 
   Addr base() const { return base_; }
   std::uint32_t ring_capacity() const { return ring_capacity_; }

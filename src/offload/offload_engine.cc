@@ -2,13 +2,20 @@
 
 #include <cassert>
 
+#include "src/sim/check.h"
+
 namespace ngx {
 
 OffloadEngine::OffloadEngine(Machine& machine, int server_core, Addr channel_base,
                              std::uint32_t ring_capacity)
     : machine_(&machine), server_core_(server_core) {
-  assert(server_core >= 0 && server_core < machine.num_cores());
-  assert(ring_capacity > 0 && ring_capacity <= kMaxRingCapacity);
+  // Construction-time validation must survive NDEBUG: an out-of-range ring
+  // capacity would overrun the kChannelStride-byte channel block into the
+  // next client's mailbox, and a bad core id indexes off the core array.
+  NGX_CHECK(server_core >= 0 && server_core < machine.num_cores(),
+            "offload server core out of range");
+  NGX_CHECK(ring_capacity > 0 && ring_capacity <= kMaxRingCapacity,
+            "ring capacity must fit inside the channel stride");
   const int n = machine.num_cores();
   channels_.reserve(n);
   for (int c = 0; c < n; ++c) {

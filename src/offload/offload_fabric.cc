@@ -1,0 +1,83 @@
+#include "src/offload/offload_fabric.h"
+
+#include "src/sim/check.h"
+
+namespace ngx {
+
+OffloadFabric::OffloadFabric(Machine& machine, std::vector<int> server_cores,
+                             Addr channel_base, std::uint32_t ring_capacity,
+                             std::unique_ptr<RoutingPolicy> routing)
+    : machine_(&machine),
+      server_cores_(std::move(server_cores)),
+      routing_(std::move(routing)) {
+  NGX_CHECK(!server_cores_.empty(), "the fabric needs at least one shard");
+  NGX_CHECK(routing_ != nullptr, "the fabric needs a routing policy");
+  for (std::size_t i = 0; i < server_cores_.size(); ++i) {
+    for (std::size_t j = i + 1; j < server_cores_.size(); ++j) {
+      NGX_CHECK(server_cores_[i] != server_cores_[j],
+                "shard server cores must be distinct");
+    }
+  }
+  const std::uint64_t shard_stride =
+      kChannelStride * static_cast<std::uint64_t>(machine.num_cores());
+  engines_.reserve(server_cores_.size());
+  for (std::size_t s = 0; s < server_cores_.size(); ++s) {
+    engines_.push_back(std::make_unique<OffloadEngine>(
+        machine, server_cores_[s], channel_base + shard_stride * s, ring_capacity));
+  }
+  async_enqueued_.assign(engines_.size(), 0);
+  loads_.resize(engines_.size());
+}
+
+std::uint64_t OffloadFabric::ChannelRegionBytes(const Machine& machine, int num_shards) {
+  return kChannelStride * static_cast<std::uint64_t>(machine.num_cores()) *
+         static_cast<std::uint64_t>(num_shards);
+}
+
+void OffloadFabric::set_poll_work(std::uint32_t n) {
+  for (auto& e : engines_) {
+    e->set_poll_work(n);
+  }
+}
+
+int OffloadFabric::RouteMalloc(int client, std::uint64_t size, std::uint32_t size_class) {
+  if (engines_.size() == 1) {
+    return 0;  // degenerate case: the paper's single-server prototype
+  }
+  for (std::size_t s = 0; s < engines_.size(); ++s) {
+    loads_[s].queue_depth = QueueDepth(static_cast<int>(s));
+    loads_[s].server_now = machine_->core(server_cores_[s]).now();
+  }
+  const int shard = routing_->Route(client, size, size_class, loads_);
+  NGX_CHECK(shard >= 0 && shard < num_shards(), "routing policy returned a bad shard");
+  return shard;
+}
+
+std::uint64_t OffloadFabric::SyncRequest(Env& client_env, int s, OffloadOp op,
+                                         std::uint64_t arg) {
+  return shard(s).SyncRequest(client_env, op, arg);
+}
+
+void OffloadFabric::AsyncRequest(Env& client_env, int s, OffloadOp op, std::uint64_t arg) {
+  ++async_enqueued_[static_cast<std::size_t>(s)];
+  shard(s).AsyncRequest(client_env, op, arg);
+}
+
+void OffloadFabric::DrainAll() {
+  for (auto& e : engines_) {
+    e->DrainAll();
+  }
+}
+
+OffloadEngineStats OffloadFabric::TotalStats() const {
+  OffloadEngineStats total;
+  for (const auto& e : engines_) {
+    total.sync_requests += e->stats().sync_requests;
+    total.async_ops += e->stats().async_ops;
+    total.ring_full_stalls += e->stats().ring_full_stalls;
+    total.server_busy_waits += e->stats().server_busy_waits;
+  }
+  return total;
+}
+
+}  // namespace ngx

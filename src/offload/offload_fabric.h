@@ -1,0 +1,86 @@
+// OffloadFabric: N allocator shards behind one pluggable routing policy.
+//
+// The single OffloadEngine gives the allocator one dedicated core -- the
+// paper's 4.2 prototype. The fabric generalizes that to N shards, each with
+// its own server core and its own per-client mailbox/ring block, so Section
+// 3.1.1's provisioning-granularity question ("one allocator core per
+// application, per several applications, or per thread group?") becomes a
+// measurable sweep instead of a hard-wired constant.
+//
+// Channel addressing generalizes from per-core to per-(client, shard):
+// shard s's channel block for client c lives at
+//   channel_base + s * num_cores * kChannelStride + c * kChannelStride,
+// so every (client, shard) pair has private mailbox lines and no shard's
+// traffic bounces another shard's lines.
+//
+// Mallocs are routed by the policy; frees must be sent to the shard that
+// OWNS the block's heap partition (the caller resolves owner via its
+// address->shard map) -- the fabric itself is ownership-agnostic.
+#ifndef NGX_SRC_OFFLOAD_OFFLOAD_FABRIC_H_
+#define NGX_SRC_OFFLOAD_OFFLOAD_FABRIC_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/offload/offload_engine.h"
+#include "src/offload/routing.h"
+
+namespace ngx {
+
+class OffloadFabric {
+ public:
+  // One shard per entry of `server_cores` (all distinct, all valid core
+  // ids). Shard s's channels start at
+  // `channel_base + s * machine.num_cores() * kChannelStride`; the caller
+  // must reserve ChannelRegionBytes(machine, num_shards) bytes there.
+  OffloadFabric(Machine& machine, std::vector<int> server_cores, Addr channel_base,
+                std::uint32_t ring_capacity, std::unique_ptr<RoutingPolicy> routing);
+
+  static std::uint64_t ChannelRegionBytes(const Machine& machine, int num_shards);
+
+  int num_shards() const { return static_cast<int>(engines_.size()); }
+  const std::vector<int>& server_cores() const { return server_cores_; }
+  OffloadEngine& shard(int s) { return *engines_[static_cast<std::size_t>(s)]; }
+  const OffloadEngine& shard(int s) const { return *engines_[static_cast<std::size_t>(s)]; }
+  RoutingPolicy& routing() { return *routing_; }
+
+  // Binds shard s's server-side request handler.
+  void set_server(int s, OffloadServer* server) { shard(s).set_server(server); }
+
+  // Applies the poll-loop overhead knob to every shard.
+  void set_poll_work(std::uint32_t n);
+
+  // Policy decision for a malloc: which shard serves (client, size, class).
+  // Host-side only; charges no simulated time.
+  int RouteMalloc(int client, std::uint64_t size, std::uint32_t size_class);
+
+  // Round trip / fire-and-forget on an explicit shard. Callers route mallocs
+  // through RouteMalloc and frees through their address->shard owner map.
+  std::uint64_t SyncRequest(Env& client_env, int s, OffloadOp op, std::uint64_t arg);
+  void AsyncRequest(Env& client_env, int s, OffloadOp op, std::uint64_t arg);
+
+  // Drains every client ring of every shard on the shards' server cores.
+  void DrainAll();
+
+  // Async entries enqueued to shard s and not yet drained (the LeastLoaded
+  // policy's queue-depth signal).
+  std::uint64_t QueueDepth(int s) const {
+    return async_enqueued_[static_cast<std::size_t>(s)] - shard(s).stats().async_ops;
+  }
+
+  const OffloadEngineStats& shard_stats(int s) const { return shard(s).stats(); }
+  // Sum over shards (what the single-engine stats() used to report).
+  OffloadEngineStats TotalStats() const;
+
+ private:
+  Machine* machine_;
+  std::vector<int> server_cores_;
+  std::vector<std::unique_ptr<OffloadEngine>> engines_;
+  std::unique_ptr<RoutingPolicy> routing_;
+  std::vector<std::uint64_t> async_enqueued_;  // per shard
+  std::vector<ShardLoad> loads_;               // scratch for RouteMalloc
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_OFFLOAD_OFFLOAD_FABRIC_H_

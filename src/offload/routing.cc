@@ -1,0 +1,87 @@
+#include "src/offload/routing.h"
+
+#include "src/sim/check.h"
+
+namespace ngx {
+
+namespace {
+
+class StaticByClientPolicy : public RoutingPolicy {
+ public:
+  std::string_view name() const override { return "static_by_client"; }
+  int Route(int client, std::uint64_t /*size*/, std::uint32_t /*size_class*/,
+            const std::vector<ShardLoad>& loads) override {
+    return client % static_cast<int>(loads.size());
+  }
+};
+
+class BySizeClassPolicy : public RoutingPolicy {
+ public:
+  std::string_view name() const override { return "by_size_class"; }
+  int Route(int /*client*/, std::uint64_t /*size*/, std::uint32_t size_class,
+            const std::vector<ShardLoad>& loads) override {
+    return static_cast<int>(size_class % loads.size());
+  }
+};
+
+class LeastLoadedPolicy : public RoutingPolicy {
+ public:
+  std::string_view name() const override { return "least_loaded"; }
+  int Route(int /*client*/, std::uint64_t /*size*/, std::uint32_t /*size_class*/,
+            const std::vector<ShardLoad>& loads) override {
+    int best = 0;
+    for (int s = 1; s < static_cast<int>(loads.size()); ++s) {
+      const ShardLoad& a = loads[static_cast<std::size_t>(s)];
+      const ShardLoad& b = loads[static_cast<std::size_t>(best)];
+      if (a.queue_depth < b.queue_depth ||
+          (a.queue_depth == b.queue_depth && a.server_now < b.server_now)) {
+        best = s;
+      }
+    }
+    return best;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<RoutingPolicy> MakeRoutingPolicy(RoutingKind kind) {
+  switch (kind) {
+    case RoutingKind::kStaticByClient:
+      return std::make_unique<StaticByClientPolicy>();
+    case RoutingKind::kBySizeClass:
+      return std::make_unique<BySizeClassPolicy>();
+    case RoutingKind::kLeastLoaded:
+      return std::make_unique<LeastLoadedPolicy>();
+  }
+  NGX_CHECK(false, "unknown RoutingKind");
+}
+
+std::string_view RoutingKindName(RoutingKind kind) {
+  switch (kind) {
+    case RoutingKind::kStaticByClient:
+      return "static_by_client";
+    case RoutingKind::kBySizeClass:
+      return "by_size_class";
+    case RoutingKind::kLeastLoaded:
+      return "least_loaded";
+  }
+  return "?";
+}
+
+bool ParseRoutingKind(std::string_view name, RoutingKind* out) {
+  if (name == "static_by_client" || name == "static") {
+    *out = RoutingKind::kStaticByClient;
+    return true;
+  }
+  if (name == "by_size_class" || name == "size") {
+    *out = RoutingKind::kBySizeClass;
+    return true;
+  }
+  if (name == "least_loaded" || name == "least") {
+    *out = RoutingKind::kLeastLoaded;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ngx

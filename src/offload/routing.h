@@ -1,0 +1,67 @@
+// Pluggable request-routing policies for the sharded offload fabric.
+//
+// Section 3.1.1 asks "at what granularity should we provision allocator
+// cores: one per application, per several applications, or per thread
+// group?" -- the fabric makes the question askable by letting N allocator
+// shards serve the same client set, with the malloc->shard mapping factored
+// out into a policy object:
+//
+//  * StaticByClient -- client c always talks to shard c % N. With N = 1 this
+//    is exactly the single-server engine the paper prototypes (4.2); with
+//    N > 1 it models "one allocator core per thread group".
+//  * BySizeClass   -- requests are partitioned by size class, so each shard
+//    owns a disjoint slice of the class spectrum (per-shard heaps stay hot
+//    on fewer classes, at the cost of cross-shard frees).
+//  * LeastLoaded   -- each malloc goes to the shard with the shallowest
+//    pending-work queue (ties broken by the earlier server clock, then the
+//    lower shard id), modelling a work-stealing-style provisioning of the
+//    allocator room.
+//
+// Frees and UsableSize are NOT routed by policy: a block is always serviced
+// by the shard that owns its heap partition (see NgxAllocator::ShardOfAddr).
+#ifndef NGX_SRC_OFFLOAD_ROUTING_H_
+#define NGX_SRC_OFFLOAD_ROUTING_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace ngx {
+
+enum class RoutingKind {
+  kStaticByClient,
+  kBySizeClass,
+  kLeastLoaded,
+};
+
+// Per-shard load snapshot handed to policies on every routed malloc. All
+// fields are host-side bookkeeping -- reading them charges no simulated time
+// (the client stub already pays its dispatch Work; a real implementation
+// would read a shard occupancy word it owns anyway).
+struct ShardLoad {
+  std::uint64_t queue_depth = 0;  // async entries enqueued but not yet drained
+  std::uint64_t server_now = 0;   // the shard server core's current cycle
+};
+
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+  virtual std::string_view name() const = 0;
+  // Picks the shard (0 .. loads.size()-1) that should serve a malloc of
+  // `size` bytes in size class `size_class` issued by core `client`.
+  virtual int Route(int client, std::uint64_t size, std::uint32_t size_class,
+                    const std::vector<ShardLoad>& loads) = 0;
+};
+
+std::unique_ptr<RoutingPolicy> MakeRoutingPolicy(RoutingKind kind);
+
+std::string_view RoutingKindName(RoutingKind kind);
+
+// Parses "static_by_client" / "by_size_class" / "least_loaded" (and the
+// short forms "static" / "size" / "least"). Returns false on unknown names.
+bool ParseRoutingKind(std::string_view name, RoutingKind* out);
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_OFFLOAD_ROUTING_H_

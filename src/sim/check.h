@@ -1,0 +1,32 @@
+// NGX_CHECK: invariant checks that survive every build type.
+//
+// `assert` disappears under NDEBUG, which is exactly when a mis-sized ring or
+// an out-of-range core id silently corrupts neighbouring simulated state.
+// Constructor-time and configuration validation therefore uses NGX_CHECK,
+// which aborts with a message in all builds; hot-path sanity checks stay as
+// plain asserts.
+#ifndef NGX_SRC_SIM_CHECK_H_
+#define NGX_SRC_SIM_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ngx {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* cond,
+                                     const char* msg) {
+  std::fprintf(stderr, "NGX_CHECK failed at %s:%d: (%s) %s\n", file, line, cond, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace ngx
+
+#define NGX_CHECK(cond, msg)                                                   \
+  (static_cast<bool>(cond)                                                     \
+       ? static_cast<void>(0)                                                  \
+       : ::ngx::internal::CheckFailed(__FILE__, __LINE__, #cond, msg))
+
+#endif  // NGX_SRC_SIM_CHECK_H_

@@ -31,7 +31,7 @@ RunResult RunWorkload(Machine& machine, Allocator& alloc, Workload& workload,
   }
 
   RunResult result;
-  result.server_core = options.server_core;
+  result.server_cores = options.server_cores;
   result.per_core.reserve(static_cast<std::size_t>(machine.num_cores()));
   for (int c = 0; c < machine.num_cores(); ++c) {
     result.per_core.push_back(machine.core(c).pmu());
@@ -40,8 +40,10 @@ RunResult RunWorkload(Machine& machine, Allocator& alloc, Workload& workload,
     result.app += machine.core(c).pmu();
     result.wall_cycles = std::max(result.wall_cycles, machine.core(c).now());
   }
-  if (options.server_core >= 0) {
-    result.server = machine.core(options.server_core).pmu();
+  result.per_server.reserve(options.server_cores.size());
+  for (const int c : options.server_cores) {
+    result.per_server.push_back(machine.core(c).pmu());
+    result.server += result.per_server.back();
   }
   result.alloc_stats = alloc.stats();
   return result;

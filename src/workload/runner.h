@@ -12,13 +12,17 @@ namespace ngx {
 
 struct RunResult {
   // Counters summed over the *application* cores (what perf would report
-  // for the process; the dedicated allocator core is reported separately).
+  // for the process; dedicated allocator cores are reported separately).
   PmuCounters app;
   // Wall-clock = the largest application-core cycle count.
   std::uint64_t wall_cycles = 0;
   std::vector<PmuCounters> per_core;
-  PmuCounters server;  // zero when no server core was designated
-  int server_core = -1;
+  // One entry per RunOptions::server_cores shard, in the same order.
+  std::vector<PmuCounters> per_server;
+  std::vector<int> server_cores;
+  // Aggregate over per_server (the single-server `server` field, kept
+  // backward-compatible: with one shard it is that shard's counters).
+  PmuCounters server;
   AllocatorStats alloc_stats;
 
   // Fraction of application-core cycles spent inside allocator code.
@@ -26,9 +30,9 @@ struct RunResult {
 };
 
 struct RunOptions {
-  std::vector<int> cores;   // application cores (threads pinned 1:1)
+  std::vector<int> cores;          // application cores (threads pinned 1:1)
   std::uint64_t seed = 1;
-  int server_core = -1;     // excluded from `app` aggregation if >= 0
+  std::vector<int> server_cores;   // allocator shard cores; excluded from `app`
   bool flush_at_end = true;
 };
 

@@ -59,8 +59,8 @@ TEST_P(AgingTest, FootprintStabilizesUnderRetention) {
     }
   }
   alloc->Flush(env);
-  if (sys.engine) {
-    sys.engine->DrainAll();
+  if (sys.fabric) {
+    sys.fabric->DrainAll();
   }
   const std::uint64_t mapped_end = alloc->stats().mapped_bytes;
   // Steady state: the second half of the run must not add more than 50%.
@@ -109,8 +109,8 @@ TEST_P(AgingTest, SizeMixShiftReusesMemory) {
     alloc->Free(env, a);
   }
   alloc->Flush(env);
-  if (sys.engine) {
-    sys.engine->DrainAll();
+  if (sys.fabric) {
+    sys.fabric->DrainAll();
   }
   const AllocatorStats s = alloc->stats();
   EXPECT_EQ(s.mallocs, s.frees);

@@ -89,12 +89,12 @@ TEST_P(ThreadSweepTest, NextGenServesManyClients) {
   XmallocLike workload(cfg);
   RunOptions opt;
   opt.cores = FirstCores(n);
-  opt.server_core = n;
+  opt.server_cores = {n};
   RunWorkload(machine, *sys.allocator, workload, opt);
-  sys.engine->DrainAll();
+  sys.fabric->DrainAll();
   const AllocatorStats s = sys.allocator->stats();
   EXPECT_EQ(s.mallocs, s.frees);
-  EXPECT_EQ(sys.engine->stats().sync_requests, s.mallocs + static_cast<std::uint64_t>(n))
+  EXPECT_EQ(sys.fabric->TotalStats().sync_requests, s.mallocs + static_cast<std::uint64_t>(n))
       << "one round trip per malloc plus one flush per client";
 }
 

@@ -95,7 +95,7 @@ TEST(Runner, ServerCoreExcludedFromAppAggregate) {
   Churn workload(cfg);
   RunOptions opt;
   opt.cores = {0, 1};
-  opt.server_core = 2;
+  opt.server_cores = {2};
   Env server_env(m, 2);
   server_env.Work(12345);  // pretend server activity
   const RunResult r = RunWorkload(m, *alloc, workload, opt);

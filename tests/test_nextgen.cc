@@ -113,7 +113,7 @@ TEST(NextGen, AsyncFreeIsDeferred) {
   const Addr a = sys.allocator->Malloc(app, 64);
   sys.allocator->Free(app, a);
   EXPECT_EQ(sys.allocator->stats().frees, 0u) << "free rides the ring";
-  sys.engine->DrainAll();
+  sys.fabric->DrainAll();
   EXPECT_EQ(sys.allocator->stats().frees, 1u);
 }
 

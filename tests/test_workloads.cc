@@ -70,15 +70,15 @@ TEST_P(WorkloadMatrixTest, RunsCleanAndBalancesAllocs) {
   if (c.allocator == "nextgen") {
     sys = MakeNgxSystem(machine, NgxConfig::PaperPrototype(), 3);
     alloc = sys.allocator.get();
-    opt.server_core = 3;
+    opt.server_cores = {3};
   } else {
     owned = CreateAllocator(c.allocator, machine);
     alloc = owned.get();
   }
   auto workload = MakeWorkload(c.workload);
   const RunResult r = RunWorkload(machine, *alloc, *workload, opt);
-  if (sys.engine) {
-    sys.engine->DrainAll();
+  if (sys.fabric) {
+    sys.fabric->DrainAll();
   }
   const AllocatorStats s = alloc->stats();
   EXPECT_GT(s.mallocs, 0u);
