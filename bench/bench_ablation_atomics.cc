@@ -21,8 +21,10 @@ struct AtomicsResult {
   std::uint64_t ops = 0;
 };
 
-AtomicsResult RunCase(bool offload, bool remove_atomics) {
+AtomicsResult RunCase(BenchCli& cli, bool offload, bool remove_atomics) {
   Machine machine(MachineConfig::ScaledWorkstation(2));
+  // The paper-prototype point (offloaded, atomics removed) is the traced run.
+  cli.EnableTelemetry(machine, /*allow_trace=*/offload && remove_atomics);
   NgxConfig cfg;
   cfg.offload = offload;
   cfg.remove_atomics = remove_atomics;
@@ -40,6 +42,7 @@ AtomicsResult RunCase(bool offload, bool remove_atomics) {
   if (sys.fabric) {
     sys.fabric->DrainAll();
   }
+  cli.Capture(machine);
   AtomicsResult out;
   out.config = std::string(offload ? "offloaded" : "inline") +
                (remove_atomics ? ", atomics removed" : ", atomics kept");
@@ -52,14 +55,15 @@ AtomicsResult RunCase(bool offload, bool remove_atomics) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchCli cli("ablation_atomics", argc, argv);
   std::cout << "=== Ablation (3.1.3): removing atomics in the offloaded allocator ===\n\n";
 
   const std::vector<AtomicsResult> results = {
-      RunCase(true, true),
-      RunCase(true, false),
-      RunCase(false, true),
-      RunCase(false, false),
+      RunCase(cli, true, true),
+      RunCase(cli, true, false),
+      RunCase(cli, false, true),
+      RunCase(cli, false, false),
   };
 
   TextTable t({"configuration", "app wall cycles", "server cycles", "heap atomic RMWs",
@@ -78,5 +82,18 @@ int main() {
             << FormatFixed(100.0 * (kept / removed - 1.0), 2) << "%\n"
             << "(the question 3.1.3 leaves open: whether this saving outweighs the\n"
             << "handshake atomics NextGen-Malloc adds -- compare with the inline rows)\n";
-  return 0;
+
+  JsonValue rows = JsonValue::Array();
+  for (const AtomicsResult& r : results) {
+    JsonValue o = JsonValue::Object();
+    o.Set("config", JsonValue(r.config));
+    o.Set("wall_cycles", JsonValue(r.wall));
+    o.Set("server_cycles", JsonValue(r.server_cycles));
+    o.Set("heap_atomic_rmws", JsonValue(r.server_atomics));
+    o.Set("ops", JsonValue(r.ops));
+    rows.Push(o);
+  }
+  cli.Set("configs", rows);
+  cli.Metric("server_saving_pct", 100.0 * (kept / removed - 1.0));
+  return cli.Finish();
 }

@@ -20,10 +20,12 @@ struct CoreTypeResult {
   std::uint64_t server_llc_misses = 0;
 };
 
-CoreTypeResult RunCase(const std::string& label, const CoreConfig& server_core_cfg) {
+CoreTypeResult RunCase(BenchCli& cli, const std::string& label,
+                       const CoreConfig& server_core_cfg, bool trace) {
   MachineConfig mc = MachineConfig::ScaledWorkstation(2);
   mc.cores[1] = server_core_cfg;
   Machine machine(mc);
+  cli.EnableTelemetry(machine, trace);
   NgxConfig cfg;
   NgxSystem sys = MakeNgxSystem(machine, cfg, /*server_core=*/1);
   XalancConfig wl_cfg = XalancBenchConfig();
@@ -35,6 +37,7 @@ CoreTypeResult RunCase(const std::string& label, const CoreConfig& server_core_c
   opt.server_cores = {1};
   const RunResult r = RunWorkload(machine, *sys.allocator, workload, opt);
   sys.fabric->DrainAll();
+  cli.Capture(machine);
   CoreTypeResult out;
   out.core_type = label;
   out.wall = r.wall_cycles;
@@ -46,7 +49,8 @@ CoreTypeResult RunCase(const std::string& label, const CoreConfig& server_core_c
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchCli cli("ablation_coretype", argc, argv);
   std::cout << "=== Ablation (3.2): what kind of room does the allocator need? ===\n\n";
 
   CoreConfig big;  // same as the app core (ScaledWorkstation default)
@@ -68,9 +72,9 @@ int main() {
   const CoreConfig nearmem = CoreConfig::NearMemory();
 
   const std::vector<CoreTypeResult> results = {
-      RunCase("big out-of-order (another room like ours)", big),
-      RunCase("small in-order (a child's room)", inorder),
-      RunCase("near-memory in-order (a room by the pantry)", nearmem),
+      RunCase(cli, "big out-of-order (another room like ours)", big, /*trace=*/false),
+      RunCase(cli, "small in-order (a child's room)", inorder, /*trace=*/true),
+      RunCase(cli, "near-memory in-order (a room by the pantry)", nearmem, /*trace=*/false),
   };
 
   TextTable t({"allocator core", "app wall cycles", "server cycles", "server IPC",
@@ -91,5 +95,21 @@ int main() {
             << "%\n"
             << "(3.2's hypothesis: a single-issue in-order integer core is adequate,\n"
             << "and a near-memory core needs only a small cache for metadata)\n";
-  return 0;
+
+  JsonValue rows = JsonValue::Array();
+  for (const CoreTypeResult& r : results) {
+    JsonValue o = JsonValue::Object();
+    o.Set("core_type", JsonValue(r.core_type));
+    o.Set("wall_cycles", JsonValue(r.wall));
+    o.Set("server_cycles", JsonValue(r.server_cycles));
+    o.Set("server_ipc", JsonValue(r.server_ipc));
+    o.Set("server_llc_misses", JsonValue(r.server_llc_misses));
+    rows.Push(o);
+  }
+  cli.Set("core_types", rows);
+  cli.Metric("inorder_slowdown_pct",
+             100.0 * (static_cast<double>(results[1].wall) / big_wall - 1.0));
+  cli.Metric("nearmem_slowdown_pct",
+             100.0 * (static_cast<double>(results[2].wall) / big_wall - 1.0));
+  return cli.Finish();
 }

@@ -24,8 +24,9 @@ struct LayoutE2E {
   std::uint64_t server_llc_load = 0;
 };
 
-LayoutE2E RunCase(bool segregated) {
+LayoutE2E RunCase(BenchCli& cli, bool segregated) {
   Machine machine(MachineConfig::ScaledWorkstation(2));
+  cli.EnableTelemetry(machine, /*allow_trace=*/segregated);
   NgxConfig cfg;
   cfg.segregated_metadata = segregated;
   NgxSystem sys = MakeNgxSystem(machine, cfg, /*server_core=*/1);
@@ -38,6 +39,7 @@ LayoutE2E RunCase(bool segregated) {
   opt.server_cores = {1};
   const RunResult r = RunWorkload(machine, *sys.allocator, workload, opt);
   sys.fabric->DrainAll();
+  cli.Capture(machine);
   LayoutE2E out;
   out.layout = segregated ? "segregated (16-bit side tables)" : "aggregated (intrusive links)";
   out.wall = r.wall_cycles;
@@ -49,11 +51,12 @@ LayoutE2E RunCase(bool segregated) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchCli cli("ablation_layout_e2e", argc, argv);
   std::cout << "=== Ablation (3.1.2): metadata layout inside the offloaded allocator ===\n\n";
 
-  const LayoutE2E seg = RunCase(true);
-  const LayoutE2E agg = RunCase(false);
+  const LayoutE2E seg = RunCase(cli, true);
+  const LayoutE2E agg = RunCase(cli, false);
 
   TextTable t({"server-heap layout", "app wall cycles", "app LLC-load-misses",
                "app remote-HITM", "server LLC-load-misses"});
@@ -70,5 +73,19 @@ int main() {
             << "(3.1.2's conclusion: with the server owning the heap, intrusive links\n"
             << "make every block a line the two cores fight over; side tables keep\n"
             << "allocator traffic entirely server-local)\n";
-  return 0;
+
+  JsonValue rows = JsonValue::Array();
+  for (const LayoutE2E* r : {&seg, &agg}) {
+    JsonValue o = JsonValue::Object();
+    o.Set("layout", JsonValue(r->layout));
+    o.Set("wall_cycles", JsonValue(r->wall));
+    o.Set("app_llc_load_misses", JsonValue(r->app_llc_load));
+    o.Set("app_remote_hitm", JsonValue(r->app_hitm));
+    o.Set("server_llc_load_misses", JsonValue(r->server_llc_load));
+    rows.Push(o);
+  }
+  cli.Set("layouts", rows);
+  cli.Metric("segregated_advantage_pct",
+             100.0 * (static_cast<double>(agg.wall) / seg.wall - 1.0));
+  return cli.Finish();
 }

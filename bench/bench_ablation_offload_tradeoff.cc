@@ -68,19 +68,28 @@ std::uint64_t RunInlineBaseline(const std::string& name, std::uint32_t compute_p
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchCli cli("ablation_offload_tradeoff", argc, argv);
   std::cout << "=== Ablation (3.1.1): offload cost/benefit trade-off ===\n\n";
 
   // Sweep 1: how expensive may the channel be?
   std::cout << "--- sweep: cache-to-cache transfer latency (async free) ---\n";
   const std::uint64_t mi_wall = RunInlineBaseline("mimalloc", 1600);
   TextTable t1({"transfer latency (cycles)", "NextGen wall cycles", "vs Mimalloc inline"});
+  JsonValue lat_sweep = JsonValue::Array();
   for (const std::uint64_t lat : {20ull, 45ull, 80ull, 110ull, 200ull, 400ull}) {
     const std::uint64_t w = RunNgx(lat, /*async_free=*/true, 1600);
     t1.AddRow({FormatInt(lat), FormatSci(static_cast<double>(w)),
                FormatFixed(100.0 * (static_cast<double>(mi_wall) / w - 1.0), 2) + "%"});
+    JsonValue o = JsonValue::Object();
+    o.Set("transfer_latency", JsonValue(lat));
+    o.Set("nextgen_wall_cycles", JsonValue(w));
+    o.Set("vs_mimalloc_pct", JsonValue(100.0 * (static_cast<double>(mi_wall) / w - 1.0)));
+    lat_sweep.Push(o);
   }
   std::cout << t1.ToString() << "\n";
+  cli.Set("transfer_latency_sweep", lat_sweep);
+  cli.Metric("mimalloc_inline_wall_cycles", mi_wall);
 
   // Sweep 2: async vs sync free.
   std::cout << "--- async free (3.1.2: free is off the critical path) ---\n";
@@ -93,17 +102,23 @@ int main() {
   // the handshake dominates (the Shenango-vs-malloc granularity gap).
   std::cout << "--- sweep: user work per allocation ---\n";
   TextTable t3({"compute per node", "NextGen vs Mimalloc inline"});
+  JsonValue work_sweep = JsonValue::Array();
   for (const std::uint32_t work : {0u, 200u, 800u, 1600u, 6400u}) {
     const std::uint64_t ngx_w = RunNgx(45, true, work);
     const std::uint64_t mi_w = RunInlineBaseline("mimalloc", work);
     t3.AddRow({FormatInt(work),
                FormatFixed(100.0 * (static_cast<double>(mi_w) / ngx_w - 1.0), 2) + "%"});
+    JsonValue o = JsonValue::Object();
+    o.Set("compute_per_node", JsonValue(static_cast<std::uint64_t>(work)));
+    o.Set("vs_mimalloc_pct", JsonValue(100.0 * (static_cast<double>(mi_w) / ngx_w - 1.0)));
+    work_sweep.Push(o);
   }
   std::cout << t3.ToString() << "\n";
+  cli.Set("granularity_sweep", work_sweep);
 
   std::cout << "expectation: offloading wins only when the communication overhead is\n"
             << "low (same-cluster core) and there is enough user work to hide behind;\n"
             << "fine-grained allocation with an expensive channel loses -- the paper's\n"
             << "open question made quantitative.\n";
-  return 0;
+  return cli.Finish();
 }

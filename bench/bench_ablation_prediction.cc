@@ -21,8 +21,9 @@ struct PredResult {
   std::uint64_t sync_mallocs = 0;
 };
 
-PredResult RunCase(bool prediction, std::uint32_t max_batch) {
+PredResult RunCase(BenchCli& cli, bool prediction, std::uint32_t max_batch) {
   Machine machine(MachineConfig::ScaledWorkstation(2));
+  cli.EnableTelemetry(machine, /*allow_trace=*/prediction && max_batch == 32);
   NgxConfig cfg;
   cfg.prediction = prediction;
   cfg.max_predict_batch = max_batch;
@@ -36,6 +37,7 @@ PredResult RunCase(bool prediction, std::uint32_t max_batch) {
   opt.server_cores = {1};
   const RunResult r = RunWorkload(machine, *sys.allocator, workload, opt);
   sys.fabric->DrainAll();
+  cli.Capture(machine);
   PredResult out;
   out.config = prediction ? "prediction, batch<=" + std::to_string(max_batch) : "no prediction";
   out.wall = r.wall_cycles;
@@ -46,15 +48,16 @@ PredResult RunCase(bool prediction, std::uint32_t max_batch) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchCli cli("ablation_prediction", argc, argv);
   std::cout << "=== Ablation (3.3.2): predictive preallocation ===\n\n";
 
   const std::vector<PredResult> results = {
-      RunCase(false, 0),
-      RunCase(true, 4),
-      RunCase(true, 8),
-      RunCase(true, 16),
-      RunCase(true, 32),
+      RunCase(cli, false, 0),
+      RunCase(cli, true, 4),
+      RunCase(cli, true, 8),
+      RunCase(cli, true, 16),
+      RunCase(cli, true, 32),
   };
 
   TextTable t({"configuration", "app wall cycles", "round trips", "stash hits", "hit rate"});
@@ -75,5 +78,20 @@ int main() {
             << "%\napp speedup from prediction: " << FormatFixed(100.0 * (base / best - 1.0), 2)
             << "%\n(echoes MMT [31]: offloading pays off once preallocation hides the\n"
             << "round-trip latency of fine-grained requests)\n";
-  return 0;
+
+  JsonValue rows = JsonValue::Array();
+  for (const PredResult& r : results) {
+    JsonValue o = JsonValue::Object();
+    o.Set("config", JsonValue(r.config));
+    o.Set("wall_cycles", JsonValue(r.wall));
+    o.Set("stash_hits", JsonValue(r.stash_hits));
+    o.Set("sync_mallocs", JsonValue(r.sync_mallocs));
+    rows.Push(o);
+  }
+  cli.Set("configs", rows);
+  cli.Metric("round_trips_removed_pct",
+             100.0 * (1.0 - static_cast<double>(results.back().sync_mallocs) /
+                                results[0].sync_mallocs));
+  cli.Metric("prediction_speedup_pct", 100.0 * (base / best - 1.0));
+  return cli.Finish();
 }

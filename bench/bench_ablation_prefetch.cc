@@ -21,13 +21,14 @@ struct Row {
   std::uint64_t llc_on = 0;
 };
 
-Row RunBoth(const std::string& name) {
+Row RunBoth(BenchCli& cli, const std::string& name) {
   Row row;
   row.allocator = name;
   for (const bool prefetch : {false, true}) {
     MachineConfig mc = MachineConfig::ScaledWorkstation(2);
     mc.next_line_prefetch = prefetch;
     Machine machine(mc);
+    cli.EnableTelemetry(machine, /*allow_trace=*/name == "ptmalloc2" && prefetch);
     auto alloc = CreateAllocator(name, machine);
     XalancConfig wl_cfg = XalancBenchConfig();
     wl_cfg.documents = 6;
@@ -36,6 +37,7 @@ Row RunBoth(const std::string& name) {
     opt.cores = {0};
     opt.seed = 7;
     const RunResult r = RunWorkload(machine, *alloc, workload, opt);
+    cli.Capture(machine);
     (prefetch ? row.cycles_on : row.cycles_off) = r.wall_cycles;
     (prefetch ? row.llc_on : row.llc_off) = r.app.llc_load_misses;
   }
@@ -44,12 +46,13 @@ Row RunBoth(const std::string& name) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchCli cli("ablation_prefetch", argc, argv);
   std::cout << "=== Ablation: next-line prefetcher vs the Table-1 gap ===\n\n";
 
   std::vector<Row> rows;
   for (const std::string& name : BaselineAllocatorNames()) {
-    rows.push_back(RunBoth(name));
+    rows.push_back(RunBoth(cli, name));
     std::cerr << "[done] " << name << "\n";
   }
 
@@ -71,5 +74,19 @@ int main() {
             << " without prefetch, " << FormatRatio(gap_on) << " with prefetch\n"
             << "(the gap survives prefetching: TLB walks and pointer-chasing metadata\n"
             << "misses are not next-line-predictable)\n";
-  return 0;
+
+  JsonValue out = JsonValue::Array();
+  for (const Row& r : rows) {
+    JsonValue o = JsonValue::Object();
+    o.Set("allocator", JsonValue(r.allocator));
+    o.Set("cycles_no_prefetch", JsonValue(r.cycles_off));
+    o.Set("cycles_prefetch", JsonValue(r.cycles_on));
+    o.Set("llc_load_misses_no_prefetch", JsonValue(r.llc_off));
+    o.Set("llc_load_misses_prefetch", JsonValue(r.llc_on));
+    out.Push(o);
+  }
+  cli.Set("allocators", out);
+  cli.Metric("ptmalloc2_vs_tcmalloc_gap_no_prefetch", gap_off);
+  cli.Metric("ptmalloc2_vs_tcmalloc_gap_prefetch", gap_on);
+  return cli.Finish();
 }

@@ -1,19 +1,166 @@
-// Shared setup for the paper-reproduction bench binaries.
+// Shared setup for the paper-reproduction bench binaries: the canonical
+// workload configs, single-run helpers, and the BenchCli flag parser that
+// gives every bench a uniform `--json <path>` / `--trace <path>` interface.
 #ifndef NGX_BENCH_BENCH_COMMON_H_
 #define NGX_BENCH_BENCH_COMMON_H_
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 
 #include "src/alloc/registry.h"
 #include "src/core/nextgen_malloc.h"
+#include "src/telemetry/json.h"
+#include "src/telemetry/telemetry.h"
 #include "src/workload/report.h"
 #include "src/workload/runner.h"
 #include "src/workload/xalanc.h"
 
 namespace ngx {
 namespace bench {
+
+// JSON digest of a latency summary ({"count":..,"p50":..,...}; cycles).
+inline JsonValue SummaryJson(const HistogramSummary& s) {
+  JsonValue o = JsonValue::Object();
+  o.Set("count", JsonValue(s.count));
+  o.Set("p50", JsonValue(s.p50));
+  o.Set("p95", JsonValue(s.p95));
+  o.Set("p99", JsonValue(s.p99));
+  o.Set("max", JsonValue(s.max));
+  return o;
+}
+
+// JSON digest of the PMU events the paper's tables report.
+inline JsonValue PmuJson(const PmuCounters& p) {
+  JsonValue o = JsonValue::Object();
+  o.Set("cycles", JsonValue(p.cycles));
+  o.Set("instructions", JsonValue(p.instructions));
+  o.Set("llc_load_misses", JsonValue(p.llc_load_misses));
+  o.Set("llc_store_misses", JsonValue(p.llc_store_misses));
+  o.Set("dtlb_load_misses", JsonValue(p.dtlb_load_misses));
+  o.Set("dtlb_store_misses", JsonValue(p.dtlb_store_misses));
+  o.Set("atomic_rmws", JsonValue(p.atomic_rmws));
+  o.Set("alloc_cycles", JsonValue(p.alloc_cycles));
+  return o;
+}
+
+// Uniform command line for the bench binaries:
+//   --json <path>   write machine-readable results (headline metrics, any
+//                   per-row sections the bench adds, and a telemetry digest)
+//   --trace <path>  write a Chrome trace_event JSON of the headline run
+//                   (open in chrome://tracing or Perfetto)
+// Both optional; with neither flag a bench prints its tables exactly as
+// before. Telemetry stays strictly observational, so enabling it for the
+// JSON/trace output leaves every printed number bit-identical.
+class BenchCli {
+ public:
+  BenchCli(std::string bench, int argc, char** argv) : bench_(std::move(bench)) {
+    root_.Set("bench", bench_);
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        json_path_ = argv[++i];
+      } else if (arg == "--trace" && i + 1 < argc) {
+        trace_path_ = argv[++i];
+      } else {
+        std::cerr << "usage: " << argv[0] << " [--json <path>] [--trace <path>]\n";
+        std::exit(2);
+      }
+    }
+  }
+
+  bool want_json() const { return !json_path_.empty(); }
+  bool want_trace() const { return !trace_path_.empty(); }
+
+  // Switches `machine` into recording mode. Metrics always record (purely
+  // observational, host-side); event tracing turns on only when --trace was
+  // given, `allow_trace` is set, and no earlier run was captured -- so the
+  // first Capture()d tracing machine becomes the exported trace. Benches
+  // with several runs pass allow_trace=false on the uninteresting ones.
+  void EnableTelemetry(Machine& machine, bool allow_trace = true,
+                       std::uint64_t pmu_snapshot_interval = 1000000) {
+    TelemetryConfig tc;
+    tc.enabled = true;
+    tc.trace = allow_trace && want_trace() && !captured_trace_;
+    tc.pmu_snapshot_interval = tc.trace ? pmu_snapshot_interval : 0;
+    machine.EnableTelemetry(tc);
+  }
+
+  // Snapshots `machine`'s telemetry into the bench output: the metric
+  // registry digest (last capture wins) and, on the first tracing machine,
+  // the Chrome trace. Call before the machine goes out of scope.
+  void Capture(Machine& machine) {
+    const Telemetry& t = machine.telemetry();
+    if (!t.enabled()) {
+      return;
+    }
+    if (!t.metrics().empty()) {
+      telemetry_json_ = t.metrics().ToJson();
+    }
+    if (t.tracing() && !captured_trace_) {
+      trace_json_ = t.tracer().ToChromeTraceJson();
+      captured_trace_ = true;
+    }
+  }
+
+  // One named headline value under "metrics".
+  void Metric(std::string_view key, JsonValue v) { metrics_.Set(key, std::move(v)); }
+  void Metric(std::string_view key, double v) { Metric(key, JsonValue(v)); }
+  void Metric(std::string_view key, std::uint64_t v) { Metric(key, JsonValue(v)); }
+  void Metric(std::string_view key, int v) { Metric(key, JsonValue(v)); }
+  // Root-level sections (e.g. an array of per-row objects).
+  void Set(std::string_view key, JsonValue v) { root_.Set(key, std::move(v)); }
+
+  // Writes the requested files; returns the process exit code so mains can
+  // end with `return cli.Finish();`.
+  int Finish() {
+    if (want_json()) {
+      if (metrics_.kind() == JsonValue::Kind::kObject) {
+        root_.Set("metrics", metrics_);
+      }
+      if (telemetry_json_.kind() == JsonValue::Kind::kObject) {
+        root_.Set("telemetry", telemetry_json_);
+      }
+      std::ofstream out(json_path_);
+      out << root_.Dump(2) << "\n";
+      if (!out) {
+        std::cerr << "error: cannot write " << json_path_ << "\n";
+        return 1;
+      }
+      std::cerr << "[json] " << json_path_ << "\n";
+    }
+    if (want_trace()) {
+      std::ofstream out(trace_path_);
+      if (captured_trace_) {
+        out << trace_json_ << "\n";
+      } else {
+        Tracer empty;
+        empty.WriteChromeTrace(out);
+        out << "\n";
+      }
+      if (!out) {
+        std::cerr << "error: cannot write " << trace_path_ << "\n";
+        return 1;
+      }
+      std::cerr << "[trace] " << trace_path_ << "\n";
+    }
+    return 0;
+  }
+
+ private:
+  std::string bench_;
+  std::string json_path_;
+  std::string trace_path_;
+  JsonValue root_ = JsonValue::Object();
+  JsonValue metrics_ = JsonValue::Object();
+  JsonValue telemetry_json_;
+  std::string trace_json_;
+  bool captured_trace_ = false;
+};
 
 // The xalancbmk-scale stand-in used by Figure 1 / Table 1 / Table 3.
 inline XalancConfig XalancBenchConfig() {
@@ -44,10 +191,15 @@ struct XalancRun {
 };
 
 // Runs the xalanc-like workload single-threaded on a fresh scaled machine
-// with the named baseline allocator.
+// with the named baseline allocator. With `cli`, the run records telemetry
+// and the first traced run is captured for --trace export.
 inline XalancRun RunXalancBaseline(const std::string& allocator_name,
-                                   const XalancConfig& wl_cfg, std::uint64_t seed = 7) {
+                                   const XalancConfig& wl_cfg, std::uint64_t seed = 7,
+                                   BenchCli* cli = nullptr) {
   Machine machine(MachineConfig::ScaledWorkstation(2));
+  if (cli != nullptr) {
+    cli->EnableTelemetry(machine);
+  }
   auto alloc = CreateAllocator(allocator_name, machine);
   XalancLike workload(wl_cfg);
   RunOptions opt;
@@ -56,13 +208,19 @@ inline XalancRun RunXalancBaseline(const std::string& allocator_name,
   XalancRun out;
   out.result = RunWorkload(machine, *alloc, workload, opt);
   out.allocator = allocator_name;
+  if (cli != nullptr) {
+    cli->Capture(machine);
+  }
   return out;
 }
 
 // Runs the same workload with NextGen-Malloc (offloaded; server core 1).
 inline XalancRun RunXalancNextGen(const NgxConfig& cfg, const XalancConfig& wl_cfg,
-                                  std::uint64_t seed = 7) {
+                                  std::uint64_t seed = 7, BenchCli* cli = nullptr) {
   Machine machine(MachineConfig::ScaledWorkstation(2));
+  if (cli != nullptr) {
+    cli->EnableTelemetry(machine);
+  }
   NgxSystem sys = MakeNgxSystem(machine, cfg, /*server_core=*/1);
   XalancLike workload(wl_cfg);
   RunOptions opt;
@@ -77,6 +235,9 @@ inline XalancRun RunXalancNextGen(const NgxConfig& cfg, const XalancConfig& wl_c
     sys.fabric->DrainAll();
   }
   out.allocator = "nextgen";
+  if (cli != nullptr) {
+    cli->Capture(machine);
+  }
   return out;
 }
 

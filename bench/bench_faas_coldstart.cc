@@ -9,14 +9,14 @@
 // exploitation in the paper.
 #include <iostream>
 
+#include "bench/bench_common.h"
 #include "src/alloc/layout.h"
 #include "src/alloc/mimalloc/mi_allocator.h"
 #include "src/core/faas.h"
-#include "src/core/nextgen_malloc.h"
-#include "src/workload/report.h"
 #include "src/workload/rng.h"
 
 using namespace ngx;
+using namespace ngx::bench;
 
 namespace {
 
@@ -58,8 +58,9 @@ struct StartResult {
   std::uint64_t request_cycles = 0;
 };
 
-StartResult ColdStart(int runtime_objects) {
+StartResult ColdStart(BenchCli& cli, int runtime_objects) {
   Machine machine(MachineConfig::Default(1));
+  cli.EnableTelemetry(machine, /*allow_trace=*/runtime_objects == 32000);
   auto alloc = std::make_unique<MiAllocator>(machine, kMiHeapBase);
   Env env(machine, 0);
   Rng rng(5);
@@ -67,6 +68,7 @@ StartResult ColdStart(int runtime_objects) {
   const std::vector<Addr> runtime = InitializeRuntime(env, *alloc, runtime_objects, rng);
   const std::uint64_t t1 = env.now();
   ServeRequest(env, *alloc, runtime, rng);
+  cli.Capture(machine);
   return StartResult{t1 - t0, env.now() - t1};
 }
 
@@ -102,13 +104,15 @@ StartResult WarmStart(int runtime_objects) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchCli cli("faas_coldstart", argc, argv);
   std::cout << "=== Extension (3.3.2): FaaS cold start vs heap-image restore ===\n\n";
 
+  JsonValue sweep = JsonValue::Array();
   TextTable t({"runtime objects", "cold init cycles", "image restore cycles", "speedup",
                "1st-request (cold)", "1st-request (warm)"});
   for (const int objects : {500, 2000, 8000, 32000}) {
-    const StartResult cold = ColdStart(objects);
+    const StartResult cold = ColdStart(cli, objects);
     const StartResult warm = WarmStart(objects);
     t.AddRow({FormatInt(static_cast<std::uint64_t>(objects)),
               FormatSci(static_cast<double>(cold.startup_cycles)),
@@ -117,6 +121,18 @@ int main() {
                           static_cast<double>(warm.startup_cycles)),
               FormatSci(static_cast<double>(cold.request_cycles)),
               FormatSci(static_cast<double>(warm.request_cycles))});
+    JsonValue o = JsonValue::Object();
+    o.Set("runtime_objects", JsonValue(objects));
+    o.Set("cold_init_cycles", JsonValue(cold.startup_cycles));
+    o.Set("image_restore_cycles", JsonValue(warm.startup_cycles));
+    o.Set("first_request_cold_cycles", JsonValue(cold.request_cycles));
+    o.Set("first_request_warm_cycles", JsonValue(warm.request_cycles));
+    sweep.Push(o);
+    if (objects == 32000) {
+      cli.Metric("restore_speedup_32000_objects",
+                 static_cast<double>(cold.startup_cycles) /
+                     static_cast<double>(warm.startup_cycles));
+    }
     std::cerr << "[done] " << objects << " objects\n";
   }
   std::cout << t.ToString() << "\n";
@@ -125,5 +141,6 @@ int main() {
             << "winning more as runtimes grow -- the duplicate-initialization overhead\n"
             << "the paper's FaaS direction targets. The warm instance's first request\n"
             << "pays cold-cache misses on the restored heap, visible in the last column.\n";
-  return 0;
+  cli.Set("sweep", sweep);
+  return cli.Finish();
 }

@@ -3,15 +3,16 @@
 // of time is spent in malloc/free.
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ngx;
   using namespace ngx::bench;
 
+  BenchCli cli("fig1_alloc_sensitivity", argc, argv);
   std::cout << "=== Figure 1: execution time sensitivity to memory allocation ===\n\n";
 
   std::vector<XalancRun> runs;
   for (const std::string& name : BaselineAllocatorNames()) {
-    runs.push_back(RunXalancBaseline(name, XalancBenchConfig()));
+    runs.push_back(RunXalancBaseline(name, XalancBenchConfig(), /*seed=*/7, &cli));
     std::cerr << "[done] " << name << "\n";
   }
 
@@ -32,5 +33,16 @@ int main() {
   std::cout << "paper: best allocator improves over PTMalloc2 by up to 1.72x;\n"
             << "       only ~2% of execution time is inside malloc/free.\n"
             << "measured best-vs-PTMalloc2: " << FormatRatio(pt_cycles / best) << "\n";
-  return 0;
+
+  JsonValue rows = JsonValue::Array();
+  for (const XalancRun& r : runs) {
+    JsonValue o = JsonValue::Object();
+    o.Set("allocator", JsonValue(r.allocator));
+    o.Set("wall_cycles", JsonValue(r.result.wall_cycles));
+    o.Set("malloc_time_share", JsonValue(r.result.MallocTimeShare()));
+    rows.Push(o);
+  }
+  cli.Set("allocators", rows);
+  cli.Metric("best_vs_ptmalloc2", pt_cycles / best);
+  return cli.Finish();
 }

@@ -12,12 +12,13 @@
 // PMU profile.
 #include <iostream>
 
+#include "bench/bench_common.h"
 #include "src/alloc/layout.h"
 #include "src/core/server_heap.h"
-#include "src/workload/report.h"
 #include "src/workload/rng.h"
 
 using namespace ngx;
+using namespace ngx::bench;
 
 namespace {
 
@@ -29,8 +30,9 @@ struct LayoutResult {
   std::uint64_t mapped_bytes = 0;
 };
 
-LayoutResult Exercise(bool segregated) {
+LayoutResult Exercise(BenchCli& cli, bool segregated) {
   Machine machine(MachineConfig::Default(1));
+  cli.EnableTelemetry(machine, /*allow_trace=*/segregated);
   ServerHeapConfig hc;
   hc.hugepage_spans = false;
   auto heap = MakeServerHeap(machine, segregated, kNgxHeapBase, kNgxMetaBase, hc);
@@ -58,6 +60,7 @@ LayoutResult Exercise(bool segregated) {
   r.pmu = machine.core(0).pmu();
   r.pmu.cycles -= before.cycles;
   r.mapped_bytes = heap->stats().mapped_bytes;
+  cli.Capture(machine);
   // Attribute the allocator's own loads/stores by address window: the heap
   // window holds user blocks; the metadata window holds side tables. For the
   // aggregated heap everything (headers + links) is in the heap window.
@@ -68,11 +71,12 @@ LayoutResult Exercise(bool segregated) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchCli cli("fig2_layout", argc, argv);
   std::cout << "=== Figure 2: aggregated vs segregated metadata layout ===\n\n";
 
-  const LayoutResult agg = Exercise(false);
-  const LayoutResult seg = Exercise(true);
+  const LayoutResult agg = Exercise(cli, false);
+  const LayoutResult seg = Exercise(cli, true);
 
   TextTable t({"metric (60k ops, 4k live blocks)", "aggregated", "segregated"});
   auto add = [&](const std::string& label, auto getter) {
@@ -95,5 +99,16 @@ int main() {
       << "while the segregated layout concentrates allocator traffic in a few dense\n"
       << "side-table lines, which is what makes it suitable for offloading: its\n"
       << "metadata address space can be separated from user data entirely.\n";
-  return 0;
+
+  JsonValue layouts = JsonValue::Object();
+  for (const LayoutResult* r : {&agg, &seg}) {
+    JsonValue o = PmuJson(r->pmu);
+    o.Set("mapped_bytes", JsonValue(r->mapped_bytes));
+    layouts.Set(r->name, o);
+  }
+  cli.Set("layouts", layouts);
+  cli.Metric("segregated_llc_load_miss_ratio",
+             static_cast<double>(seg.pmu.llc_load_misses) /
+                 std::max<std::uint64_t>(1, agg.pmu.llc_load_misses));
+  return cli.Finish();
 }

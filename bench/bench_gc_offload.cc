@@ -8,12 +8,12 @@
 // points at, measured here as mutator-core cycles and misses.
 #include <iostream>
 
-#include "src/alloc/registry.h"
+#include "bench/bench_common.h"
 #include "src/core/managed_heap.h"
-#include "src/workload/report.h"
 #include "src/workload/rng.h"
 
 using namespace ngx;
+using namespace ngx::bench;
 
 namespace {
 
@@ -23,8 +23,9 @@ struct GcRunResult {
   std::uint64_t mutator_cycles = 0;
 };
 
-GcRunResult RunMutator(bool offload_gc) {
+GcRunResult RunMutator(BenchCli& cli, bool offload_gc) {
   Machine machine(MachineConfig::ScaledWorkstation(2));
+  cli.EnableTelemetry(machine, /*allow_trace=*/offload_gc);
   auto alloc = CreateAllocator("tcmalloc", machine);
   ManagedHeap heap(*alloc);
   Env mutator(machine, 0);
@@ -102,16 +103,18 @@ GcRunResult RunMutator(bool offload_gc) {
   out.mutator.llc_load_misses -= pmu0.llc_load_misses;
   out.mutator.dtlb_load_misses -= pmu0.dtlb_load_misses;
   out.mutator.l1d_load_misses -= pmu0.l1d_load_misses;
+  cli.Capture(machine);
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchCli cli("gc_offload", argc, argv);
   std::cout << "=== Extension (3.3.2): offloading garbage collection ===\n\n";
 
-  const GcRunResult inline_gc = RunMutator(false);
-  const GcRunResult offload_gc = RunMutator(true);
+  const GcRunResult inline_gc = RunMutator(cli, false);
+  const GcRunResult offload_gc = RunMutator(cli, true);
 
   TextTable t({"metric", "GC inline on app core", "GC on allocator core"});
   t.AddRow({"app wall cycles (incl. GC pauses)",
@@ -137,5 +140,20 @@ int main() {
             << "(the collector's graph walk no longer evicts the mutator's working\n"
             << "set -- the paper's 3.3.2 opportunity, and [19]'s accelerator in\n"
             << "software form)\n";
-  return 0;
+
+  JsonValue modes = JsonValue::Object();
+  for (const auto& [name, r] :
+       {std::pair<const char*, const GcRunResult*>{"inline", &inline_gc},
+        std::pair<const char*, const GcRunResult*>{"offloaded", &offload_gc}}) {
+    JsonValue o = JsonValue::Object();
+    o.Set("app_wall_cycles", JsonValue(r->mutator_cycles));
+    o.Set("app_counters", PmuJson(r->mutator));
+    o.Set("gc_mark_cycles", JsonValue(r->gc.mark_cycles));
+    o.Set("gc_sweep_cycles", JsonValue(r->gc.sweep_cycles));
+    o.Set("objects_swept", JsonValue(r->gc.objects_swept));
+    modes.Set(name, o);
+  }
+  cli.Set("modes", modes);
+  cli.Metric("app_speedup_pct", speedup);
+  return cli.Finish();
 }

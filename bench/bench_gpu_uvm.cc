@@ -8,19 +8,22 @@
 //   * sync vs stream-ordered (async) allocation cost
 #include <iostream>
 
+#include "bench/bench_common.h"
 #include "src/alloc/layout.h"
 #include "src/core/gpu_malloc.h"
-#include "src/workload/report.h"
 #include "src/workload/rng.h"
 
 using namespace ngx;
+using namespace ngx::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchCli cli("gpu_uvm", argc, argv);
   std::cout << "=== Extension (3.3.1): UVM allocation and migration ===\n\n";
 
   // Sweep migration granularity for a host-write/device-read pipeline.
   std::cout << "--- producer/consumer pipeline: granularity sweep ---\n";
   TextTable t1({"UVM page", "host cycles", "H2D migrations", "cycles/KB moved"});
+  JsonValue gran = JsonValue::Array();
   for (const std::uint64_t page_kb : {4ull, 16ull, 64ull, 256ull}) {
     Machine machine(MachineConfig::Default(1));
     UvmConfig cfg;
@@ -38,8 +41,14 @@ int main() {
     t1.AddRow({FormatInt(page_kb) + " KiB", FormatSci(static_cast<double>(cycles)),
                FormatInt(uvm.stats().host_to_device_migrations),
                FormatFixed(static_cast<double>(cycles) / (64.0 * 256), 1)});
+    JsonValue o = JsonValue::Object();
+    o.Set("page_kib", JsonValue(page_kb));
+    o.Set("host_cycles", JsonValue(cycles));
+    o.Set("h2d_migrations", JsonValue(uvm.stats().host_to_device_migrations));
+    gran.Push(o);
   }
   std::cout << t1.ToString() << "\n";
+  cli.Set("granularity_sweep", gran);
 
   // Ping-pong: both sides touch the same buffer alternately (the redundant
   // transmission problem).
@@ -59,6 +68,8 @@ int main() {
               << FormatInt(uvm.stats().device_to_host_migrations)
               << " D2H page migrations (every round re-migrates: the paper's\n"
               << "redundant-transmission concern)\n\n";
+    cli.Metric("pingpong_h2d_migrations", uvm.stats().host_to_device_migrations);
+    cli.Metric("pingpong_d2h_migrations", uvm.stats().device_to_host_migrations);
   }
 
   // Sync vs stream-ordered allocation.
@@ -75,6 +86,7 @@ int main() {
       bufs.push_back(uvm.Malloc(env, rng.Range(4096, 65536)));
     }
     t2.AddRow({"cudaMallocManaged-style (sync)", FormatSci(static_cast<double>(env.now() - t0))});
+    cli.Metric("sync_alloc_cycles", env.now() - t0);
     for (const Addr b : bufs) {
       uvm.Free(env, b);
     }
@@ -95,6 +107,7 @@ int main() {
     uvm.StreamSync(env);
     t2.AddRow({"cudaMallocAsync-style (stream-ordered)",
                FormatSci(static_cast<double>(env.now() - t0))});
+    cli.Metric("stream_ordered_alloc_cycles", env.now() - t0);
     for (const Addr b : bufs) {
       uvm.Free(env, b);
     }
@@ -103,5 +116,5 @@ int main() {
   std::cout << "expectation: coarse granularity amortizes migrations for streaming but\n"
             << "wastes transfers for sparse access; async allocation batches driver\n"
             << "work off the critical path -- both knobs NextGen-Malloc could manage.\n";
-  return 0;
+  return cli.Finish();
 }

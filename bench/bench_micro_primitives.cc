@@ -5,6 +5,11 @@
 //    the paper quotes (atomic RMW ~67 cycles, malloc fast paths ~100 cycles)
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "src/alloc/registry.h"
 #include "src/core/nextgen_malloc.h"
 #include "src/workload/rng.h"
@@ -141,4 +146,35 @@ BENCHMARK(BM_ChannelRoundTrip);
 }  // namespace
 }  // namespace ngx
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): google-benchmark rejects unknown
+// flags, so translate the repo-wide `--json <path>` convention into its
+// native --benchmark_out before initialization. `--trace` is accepted but
+// ignored (these microbenchmarks have no machine-level run to trace).
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::vector<std::string> storage;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      storage.push_back(std::string("--benchmark_out=") + argv[++i]);
+      storage.push_back("--benchmark_out_format=json");
+    } else if (arg == "--trace" && i + 1 < argc) {
+      ++i;
+      std::cerr << "[note] --trace is not supported by the micro benches; ignored\n";
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  for (std::string& s : storage) {
+    args.push_back(s.data());
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,10 +11,11 @@
 #include "bench/bench_common.h"
 #include "src/core/analytical_model.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ngx;
   using namespace ngx::bench;
 
+  BenchCli cli("sec41_analytical", argc, argv);
   std::cout << "=== Section 4.1: analytical break-even model ===\n\n";
 
   const BreakEvenInputs in = BreakEvenInputs::PaperXalancbmk();
@@ -38,8 +39,8 @@ int main() {
   // (Mimalloc vs PTMalloc2 on the xalanc-like workload), as the paper derives
   // 214 cycles from its Mimalloc-vs-Glibc measurements.
   std::cout << "cross-validating the miss penalty against simulator runs...\n";
-  const XalancRun pt = RunXalancBaseline("ptmalloc2", XalancBenchConfig());
-  const XalancRun mi = RunXalancBaseline("mimalloc", XalancBenchConfig());
+  const XalancRun pt = RunXalancBaseline("ptmalloc2", XalancBenchConfig(), /*seed=*/7, &cli);
+  const XalancRun mi = RunXalancBaseline("mimalloc", XalancBenchConfig(), /*seed=*/7, &cli);
   const double penalty = MissPenaltyFromCounters(pt.result.app, mi.result.app);
   std::cout << "simulator-derived LLC/TLB miss penalty: " << FormatFixed(penalty, 1)
             << " cycles (paper derives 214 on its hardware)\n\n";
@@ -54,5 +55,13 @@ int main() {
   std::cout << "with simulator inputs: overhead " << FormatSci(sim_r.overhead_cycles, 2)
             << " cycles, break-even " << FormatFixed(sim_r.required_miss_reduction_per_call, 2)
             << " misses/call, feasible: " << (sim_r.feasible ? "yes" : "no") << "\n";
-  return 0;
+
+  cli.Metric("paper_overhead_cycles", r.overhead_cycles);
+  cli.Metric("paper_required_miss_reduction_per_call", r.required_miss_reduction_per_call);
+  cli.Metric("paper_feasible", JsonValue(r.feasible));
+  cli.Metric("sim_miss_penalty_cycles", penalty);
+  cli.Metric("sim_overhead_cycles", sim_r.overhead_cycles);
+  cli.Metric("sim_required_miss_reduction_per_call", sim_r.required_miss_reduction_per_call);
+  cli.Metric("sim_feasible", JsonValue(sim_r.feasible));
+  return cli.Finish();
 }

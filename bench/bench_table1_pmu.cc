@@ -10,15 +10,16 @@
 //   * dTLB-load-misses: PTMalloc2 >10x the modern allocators
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ngx;
   using namespace ngx::bench;
 
+  BenchCli cli("table1_pmu", argc, argv);
   std::cout << "=== Table 1: PMU counters for xalanc-like under four allocators ===\n\n";
 
   std::vector<XalancRun> runs;
   for (const std::string& name : BaselineAllocatorNames()) {
-    runs.push_back(RunXalancBaseline(name, XalancBenchConfig()));
+    runs.push_back(RunXalancBaseline(name, XalancBenchConfig(), /*seed=*/7, &cli));
     std::cerr << "[done] " << name << "\n";
   }
 
@@ -72,5 +73,15 @@ int main() {
   shape.AddRow({"time in malloc/free (modern)", "~2%",
                 FormatFixed(100.0 * runs[3].result.MallocTimeShare(), 1) + "%"});
   std::cout << shape.ToString();
-  return 0;
+
+  JsonValue counters = JsonValue::Object();
+  for (const XalancRun& r : runs) {
+    counters.Set(r.allocator, PmuJson(r.result.app));
+  }
+  cli.Set("app_core_counters", counters);
+  cli.Metric("ptmalloc2_cycles_vs_best_modern", pt.cycles / best_cycles);
+  cli.Metric("ptmalloc2_llc_load_misses_vs_best", pt.llc_load_misses / best_llc);
+  cli.Metric("ptmalloc2_dtlb_load_misses_vs_best", pt.dtlb_load_misses / best_dtlb);
+  cli.Metric("malloc_time_share_mimalloc", runs[3].result.MallocTimeShare());
+  return cli.Finish();
 }

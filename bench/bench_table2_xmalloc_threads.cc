@@ -8,10 +8,11 @@
 #include "bench/bench_common.h"
 #include "src/workload/xmalloc.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ngx;
   using namespace ngx::bench;
 
+  BenchCli cli("table2_xmalloc_threads", argc, argv);
   std::cout << "=== Table 2: xmalloc on TCMalloc vs thread count ===\n\n";
 
   // Fixed offered load per thread (the multi-threaded benchmark runs one
@@ -28,6 +29,7 @@ int main() {
 
   for (const int n : thread_counts) {
     Machine machine(MachineConfig::Default(n));
+    cli.EnableTelemetry(machine, /*allow_trace=*/n == 8);
     auto alloc = CreateAllocator("tcmalloc", machine);
     XmallocConfig cfg;
     cfg.ops_per_thread = kOpsPerThread;
@@ -36,6 +38,7 @@ int main() {
     opt.cores = FirstCores(n);
     opt.seed = 11;
     const RunResult r = RunWorkload(machine, *alloc, workload, opt);
+    cli.Capture(machine);
     rows.push_back(Row{n, r.app, r.wall_cycles});
     std::cerr << "[done] threads=" << n << "\n";
   }
@@ -63,5 +66,18 @@ int main() {
                 FormatRatio(static_cast<double>(rows.back().pmu.cycles) /
                             static_cast<double>(rows.front().pmu.cycles))});
   std::cout << shape.ToString();
-  return 0;
+
+  JsonValue sweep = JsonValue::Array();
+  for (const Row& r : rows) {
+    JsonValue o = JsonValue::Object();
+    o.Set("threads", JsonValue(r.threads));
+    o.Set("wall_cycles", JsonValue(r.wall));
+    o.Set("counters", PmuJson(r.pmu));
+    sweep.Push(o);
+  }
+  cli.Set("sweep", sweep);
+  cli.Metric("llc_load_misses_8t_over_1t", llc8 / std::max(1.0, llc1));
+  cli.Metric("cycles_8t_over_1t", static_cast<double>(rows.back().pmu.cycles) /
+                                      static_cast<double>(rows.front().pmu.cycles));
+  return cli.Finish();
 }

@@ -31,9 +31,12 @@ MachineConfig Table3Machine() {
 }  // namespace bench
 }  // namespace ngx
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ngx;
   using namespace ngx::bench;
+
+  BenchCli cli("table3_nextgen", argc, argv);
+  const bool record = cli.want_json() || cli.want_trace();
 
   std::cout << "=== Table 3: Mimalloc vs NextGen-Malloc (xalanc-like) ===\n\n";
 
@@ -43,6 +46,9 @@ int main() {
   // without transparent hugepages (neither 2019 mimalloc nor the prototype
   // madvised), so heaps sit on 4 KiB pages.
   Machine m_mi(Table3Machine());
+  if (record) {
+    cli.EnableTelemetry(m_mi, /*allow_trace=*/false);
+  }
   MiConfig mi_cfg;
   mi_cfg.hugepage_backing = false;
   auto mi = std::make_unique<MiAllocator>(m_mi, kMiHeapBase, mi_cfg);
@@ -54,8 +60,12 @@ int main() {
   std::cerr << "[done] mimalloc\n";
 
   // NextGen-Malloc: offloaded to core 1, async free, segregated metadata,
-  // no internal atomics (the 4.2 prototype configuration).
+  // no internal atomics (the 4.2 prototype configuration). This is the run
+  // exported by --trace.
   Machine m_ngx(Table3Machine());
+  if (record) {
+    cli.EnableTelemetry(m_ngx);
+  }
   NgxConfig cfg = NgxConfig::PaperPrototype();
   cfg.hugepage_spans = false;  // same no-THP machine
   NgxSystem sys = MakeNgxSystem(m_ngx, cfg, /*server_core=*/1);
@@ -66,6 +76,7 @@ int main() {
   opt_ngx.server_cores = {1};
   const RunResult r_ngx = RunWorkload(m_ngx, *sys.allocator, wl_ngx, opt_ngx);
   sys.fabric->DrainAll();
+  cli.Capture(m_ngx);
   std::cerr << "[done] nextgen\n";
 
   // The same prototype with Section 3.3.2's predictive preallocation: the
@@ -111,5 +122,20 @@ int main() {
   shape.AddRow({"LLC-store misses reduced", "yes",
                 r_ngx.app.llc_store_misses < r_mi.app.llc_store_misses ? "yes" : "NO"});
   std::cout << shape.ToString();
-  return 0;
+
+  cli.Metric("mimalloc_wall_cycles", r_mi.wall_cycles);
+  cli.Metric("nextgen_wall_cycles", r_ngx.wall_cycles);
+  cli.Metric("nextgen_prediction_wall_cycles", r_pred.wall_cycles);
+  cli.Metric("nextgen_speedup_pct", 100.0 * (mi_cycles / ngx_cycles - 1.0));
+  cli.Metric("nextgen_prediction_speedup_pct", 100.0 * (mi_cycles / pred_cycles - 1.0));
+  cli.Metric("server_cycles", r_ngx.server.cycles);
+  JsonValue counters = JsonValue::Object();
+  counters.Set("mimalloc", PmuJson(r_mi.app));
+  counters.Set("nextgen", PmuJson(r_ngx.app));
+  counters.Set("nextgen_server", PmuJson(r_ngx.server));
+  cli.Set("app_core_counters", counters);
+  if (!r_ngx.shard_sync_latency.empty()) {
+    cli.Metric("sync_latency", SummaryJson(r_ngx.shard_sync_latency[0]));
+  }
+  return cli.Finish();
 }

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Builds, tests, and regenerates every paper table/figure.
+# Builds, tests, and regenerates every paper table/figure. Each bench also
+# writes a machine-readable JSON result under build/bench_results/, and the
+# Table-3 headline run exports a Chrome trace (open in chrome://tracing).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 # Prefer Ninja on a fresh configure; an already-configured build tree keeps
@@ -11,10 +13,47 @@ else
 fi
 cmake --build build -j
 ctest --test-dir build 2>&1 | tee test_output.txt
+
+results_dir=build/bench_results
+mkdir -p "$results_dir"
 # Only run the actual bench executables: the build tree may also place
 # directories or non-executable artifacts under build/bench/.
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then
-    "$b"
+    name="$(basename "$b")"
+    name="${name#bench_}"
+    extra=()
+    if [ "$name" = "table3_nextgen" ]; then
+      extra+=(--trace "$results_dir/table3_nextgen.trace.json")
+    fi
+    "$b" --json "$results_dir/$name.json" "${extra[@]}"
   fi
 done 2>&1 | tee bench_output.txt
+
+# Machine-readable summary: one line per bench, pulled from the JSON files.
+python3 - "$results_dir" <<'PYEOF'
+import json, os, sys
+
+results_dir = sys.argv[1]
+rows = []
+for fname in sorted(os.listdir(results_dir)):
+    if not fname.endswith(".json") or fname.endswith(".trace.json"):
+        continue
+    path = os.path.join(results_dir, fname)
+    with open(path) as f:
+        doc = json.load(f)
+    if "benchmarks" in doc:  # google-benchmark output (micro primitives)
+        rows.append((fname, f"{len(doc['benchmarks'])} microbenchmarks"))
+        continue
+    metrics = doc.get("metrics", {})
+    digest = ", ".join(
+        f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+        for k, v in list(metrics.items())[:3]
+        if not isinstance(v, (dict, list)))
+    rows.append((fname, digest or "(no headline metrics)"))
+
+width = max((len(r[0]) for r in rows), default=0)
+print("\n=== bench_results summary ===")
+for name, digest in rows:
+    print(f"  {name:<{width}}  {digest}")
+PYEOF

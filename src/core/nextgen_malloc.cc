@@ -52,6 +52,41 @@ NgxAllocator::NgxAllocator(Machine& machine, OffloadFabric* fabric, const NgxCon
   }
 }
 
+bool NgxAllocator::Recording() {
+  if (!machine_->telemetry().enabled()) {
+    return false;
+  }
+  if (!instruments_bound_) {
+    BindInstruments();
+  }
+  return true;
+}
+
+void NgxAllocator::BindInstruments() {
+  MetricsRegistry& m = machine_->telemetry().metrics();
+  h_malloc_stash_ = &m.GetHistogram("ngx.malloc_latency", {{"alloc", "nextgen"}, {"path", "stash"}});
+  h_malloc_sync_ = &m.GetHistogram("ngx.malloc_latency", {{"alloc", "nextgen"}, {"path", "sync"}});
+  h_malloc_inline_ =
+      &m.GetHistogram("ngx.malloc_latency", {{"alloc", "nextgen"}, {"path", "inline"}});
+  const char* free_path = !config_.offload ? "inline" : (config_.async_free ? "async" : "sync");
+  h_free_ = &m.GetHistogram("ngx.free_latency", {{"alloc", "nextgen"}, {"path", free_path}});
+  c_free_local_ = &m.GetCounter("ngx.frees", {{"alloc", "nextgen"}, {"locality", "local"}});
+  c_free_remote_ = &m.GetCounter("ngx.frees", {{"alloc", "nextgen"}, {"locality", "remote"}});
+  c_free_unknown_ = &m.GetCounter("ngx.frees", {{"alloc", "nextgen"}, {"locality", "unknown"}});
+  instruments_bound_ = true;
+}
+
+void NgxAllocator::ClassifyFree(Addr addr, int core) {
+  const auto it = alloc_core_.find(addr);
+  if (it == alloc_core_.end()) {
+    // Allocated before telemetry was enabled (or stashed and never popped).
+    c_free_unknown_->Add();
+    return;
+  }
+  (it->second == core ? c_free_local_ : c_free_remote_)->Add();
+  alloc_core_.erase(it);
+}
+
 int NgxAllocator::ShardOfAddr(Addr addr) const {
   if (heaps_.size() == 1) {
     return 0;
@@ -62,8 +97,15 @@ int NgxAllocator::ShardOfAddr(Addr addr) const {
 }
 
 Addr NgxAllocator::Malloc(Env& env, std::uint64_t size) {
+  const bool rec = Recording();
+  const std::uint64_t t0 = env.now();
   if (!config_.offload) {
-    return heaps_[0]->Malloc(env, size);
+    const Addr a = heaps_[0]->Malloc(env, size);
+    if (rec) {
+      h_malloc_inline_->Record(env.now() - t0);
+      NoteAlloc(a, env.core_id());
+    }
+    return a;
   }
   env.Work(4);  // stub dispatch
   if (config_.prediction && size <= classes_.max_size()) {
@@ -72,23 +114,45 @@ Addr NgxAllocator::Malloc(Env& env, std::uint64_t size) {
     std::uint64_t block = 0;
     if (stash.Pop(env, &block)) {
       ++stash_hits_;
+      if (rec) {
+        h_malloc_stash_->Record(env.now() - t0);
+        NoteAlloc(block, env.core_id());
+      }
       return block;
     }
     ++sync_mallocs_;
     const int shard = fabric_->RouteMalloc(env.core_id(), size, cls);
-    return fabric_->SyncRequest(env, shard, OffloadOp::kMallocBatch, size);
+    const Addr a = fabric_->SyncRequest(env, shard, OffloadOp::kMallocBatch, size);
+    if (rec) {
+      h_malloc_sync_->Record(env.now() - t0);
+      NoteAlloc(a, env.core_id());
+    }
+    return a;
   }
   ++sync_mallocs_;
   const int shard = fabric_->RouteMalloc(env.core_id(), size, RouteClassOf(size));
-  return fabric_->SyncRequest(env, shard, OffloadOp::kMalloc, size);
+  const Addr a = fabric_->SyncRequest(env, shard, OffloadOp::kMalloc, size);
+  if (rec) {
+    h_malloc_sync_->Record(env.now() - t0);
+    NoteAlloc(a, env.core_id());
+  }
+  return a;
 }
 
 void NgxAllocator::Free(Env& env, Addr addr) {
   if (addr == kNullAddr) {
     return;
   }
+  const bool rec = Recording();
+  const std::uint64_t t0 = env.now();
+  if (rec) {
+    ClassifyFree(addr, env.core_id());
+  }
   if (!config_.offload) {
     heaps_[0]->Free(env, addr);
+    if (rec) {
+      h_free_->Record(env.now() - t0);
+    }
     return;
   }
   env.Work(3);
@@ -99,6 +163,9 @@ void NgxAllocator::Free(Env& env, Addr addr) {
     fabric_->AsyncRequest(env, shard, OffloadOp::kFree, addr);
   } else {
     fabric_->SyncRequest(env, shard, OffloadOp::kFree, addr);
+  }
+  if (rec) {
+    h_free_->Record(env.now() - t0);
   }
 }
 

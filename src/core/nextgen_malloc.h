@@ -25,6 +25,7 @@
 
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "src/alloc/allocator.h"
@@ -96,6 +97,18 @@ class NgxAllocator : public Allocator {
     return size <= classes_.max_size() ? classes_.ClassOf(size) : classes_.num_classes();
   }
 
+  // Lazily binds metric handles; returns whether telemetry is recording.
+  bool Recording();
+  void BindInstruments();
+  // Remembers which core obtained a live block (telemetry-only bookkeeping,
+  // host side; used to classify frees as same-core vs cross-core).
+  void NoteAlloc(Addr addr, int core) {
+    if (addr != kNullAddr) {
+      alloc_core_[addr] = core;
+    }
+  }
+  void ClassifyFree(Addr addr, int core);
+
   Machine* machine_;
   NgxConfig config_;
   SizeClasses classes_;  // client-side class computation for stash/routing
@@ -110,6 +123,17 @@ class NgxAllocator : public Allocator {
   std::uint64_t stash_slot_ = 0;
   std::uint64_t stash_hits_ = 0;
   std::uint64_t sync_mallocs_ = 0;
+
+  // Telemetry handles (host-side observation only; see src/telemetry/).
+  bool instruments_bound_ = false;
+  Histogram* h_malloc_stash_ = nullptr;
+  Histogram* h_malloc_sync_ = nullptr;
+  Histogram* h_malloc_inline_ = nullptr;
+  Histogram* h_free_ = nullptr;
+  Counter* c_free_local_ = nullptr;
+  Counter* c_free_remote_ = nullptr;
+  Counter* c_free_unknown_ = nullptr;
+  std::unordered_map<Addr, int> alloc_core_;  // live block -> obtaining core
 };
 
 // Convenience builder: creates the offload fabric (config.num_shards server

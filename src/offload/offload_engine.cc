@@ -1,10 +1,31 @@
 #include "src/offload/offload_engine.h"
 
 #include <cassert>
+#include <string>
 
 #include "src/sim/check.h"
 
 namespace ngx {
+
+namespace {
+
+const char* OpName(OffloadOp op) {
+  switch (op) {
+    case OffloadOp::kMalloc:
+      return "malloc";
+    case OffloadOp::kFree:
+      return "free";
+    case OffloadOp::kUsableSize:
+      return "usable_size";
+    case OffloadOp::kFlush:
+      return "flush";
+    case OffloadOp::kMallocBatch:
+      return "malloc_batch";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 OffloadEngine::OffloadEngine(Machine& machine, int server_core, Addr channel_base,
                              std::uint32_t ring_capacity)
@@ -25,11 +46,38 @@ OffloadEngine::OffloadEngine(Machine& machine, int server_core, Addr channel_bas
   seq_.assign(n, 0);
 }
 
+void OffloadEngine::BindInstruments() {
+  MetricsRegistry& m = machine_->telemetry().metrics();
+  const std::string shard = std::to_string(shard_id_);
+  for (const OffloadOp op : {OffloadOp::kMalloc, OffloadOp::kFree, OffloadOp::kUsableSize,
+                             OffloadOp::kFlush, OffloadOp::kMallocBatch}) {
+    h_sync_latency_[static_cast<int>(op)] =
+        &m.GetHistogram("offload.sync_latency", {{"shard", shard}, {"op", OpName(op)}});
+  }
+  h_queue_wait_ = &m.GetHistogram("offload.sync_queue_wait", {{"shard", shard}});
+  h_drain_batch_ = &m.GetHistogram("offload.drain_batch", {{"shard", shard}});
+  h_ring_occupancy_ = &m.GetHistogram("offload.ring_occupancy", {{"shard", shard}});
+  c_sync_requests_ = &m.GetCounter("offload.sync_requests", {{"shard", shard}});
+  c_async_ops_ = &m.GetCounter("offload.async_ops", {{"shard", shard}});
+  c_ring_full_ = &m.GetCounter("offload.ring_full_stalls", {{"shard", shard}});
+  instruments_bound_ = true;
+}
+
 void OffloadEngine::DrainRing(Env& server_env, int client) {
-  channels_[client].ServerDrainRing(server_env, [&](std::uint64_t addr) {
-    server_->HandleRequest(server_env, client, OffloadOp::kFree, addr);
-    ++stats_.async_ops;
-  });
+  const std::uint64_t t0 = server_env.now();
+  const std::uint32_t n =
+      channels_[client].ServerDrainRing(server_env, [&](std::uint64_t addr) {
+        server_->HandleRequest(server_env, client, OffloadOp::kFree, addr);
+        ++stats_.async_ops;
+      });
+  if (n > 0 && Recording()) {
+    h_drain_batch_->Record(n);
+    c_async_ops_->Add(n);
+    Telemetry& tel = machine_->telemetry();
+    if (tel.tracing()) {
+      tel.tracer().Complete("drain", server_core_, t0, server_env.now() - t0);
+    }
+  }
 }
 
 std::uint64_t OffloadEngine::SyncRequest(Env& client_env, OffloadOp op, std::uint64_t arg) {
@@ -38,6 +86,7 @@ std::uint64_t OffloadEngine::SyncRequest(Env& client_env, OffloadOp op, std::uin
   assert(client != server_core_ && "the server core cannot issue offload requests");
   Channel& ch = channels_[client];
   const std::uint64_t seq = ++seq_[client];
+  const std::uint64_t t0 = client_env.now();
 
   // Client publishes the request.
   ch.ClientSend(client_env, seq, op, arg);
@@ -51,12 +100,16 @@ std::uint64_t OffloadEngine::SyncRequest(Env& client_env, OffloadOp op, std::uin
   Core& server = machine_->core(server_core_);
   Env server_env = ServerEnv();
   DrainRing(server_env, client);
-  if (server.now() > send_time) {
+  // How long the request sat behind the server's backlog (other clients'
+  // requests and drained frees) before service could start.
+  const std::uint64_t queue_wait = server.now() > send_time ? server.now() - send_time : 0;
+  if (queue_wait > 0) {
     ++stats_.server_busy_waits;
   }
   server.AdvanceTo(send_time);
   server_env.Work(poll_work_);
 
+  const std::uint64_t service_start = server_env.now();
   const Channel::Request req = ch.ServerReadRequest(server_env);
   assert(req.seq == seq);
   const std::uint64_t result = server_->HandleRequest(server_env, client, req.op, req.arg);
@@ -66,6 +119,17 @@ std::uint64_t OffloadEngine::SyncRequest(Env& client_env, OffloadOp op, std::uin
   machine_->core(client).AdvanceTo(server_env.now());
   const std::uint64_t out = ch.ClientReceive(client_env, seq);
   ++stats_.sync_requests;
+  if (Recording()) {
+    h_sync_latency_[static_cast<int>(op)]->Record(client_env.now() - t0);
+    h_queue_wait_->Record(queue_wait);
+    c_sync_requests_->Add();
+    Telemetry& tel = machine_->telemetry();
+    if (tel.tracing()) {
+      tel.tracer().Complete(OpName(op), server_core_, service_start,
+                            server_env.now() - service_start);
+      tel.tracer().Complete("sync_request", client, t0, client_env.now() - t0);
+    }
+  }
   return out;
 }
 
@@ -74,9 +138,20 @@ void OffloadEngine::AsyncRequest(Env& client_env, OffloadOp op, std::uint64_t ar
   assert(op == OffloadOp::kFree && "only frees are fire-and-forget");
   const int client = client_env.core_id();
   Channel& ch = channels_[client];
-  if (ch.RingSpace(client_env) == 0) {
+  const std::uint64_t space = ch.RingSpace(client_env);
+  if (Recording()) {
+    h_ring_occupancy_->Record(ch.ring_capacity() - space);
+  }
+  if (space == 0) {
     // Backpressure: the server must drain before the client can continue.
     ++stats_.ring_full_stalls;
+    if (Recording()) {
+      c_ring_full_->Add();
+      Telemetry& tel = machine_->telemetry();
+      if (tel.tracing()) {
+        tel.tracer().Instant("ring_full", client, client_env.now());
+      }
+    }
     Core& server = machine_->core(server_core_);
     server.AdvanceTo(client_env.now());
     Env server_env = ServerEnv();

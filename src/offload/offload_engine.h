@@ -61,17 +61,45 @@ class OffloadEngine {
   // flag checks). Exposed for the ablation benches.
   void set_poll_work(std::uint32_t n) { poll_work_ = n; }
 
+  // Shard index used to label this engine's telemetry (the fabric sets it;
+  // a standalone engine reports as shard 0).
+  void set_shard_id(int s) { shard_id_ = s; }
+  int shard_id() const { return shard_id_; }
+
  private:
   Env ServerEnv() { return Env(*machine_, server_core_); }
   void DrainRing(Env& server_env, int client);
+  // Lazily binds the metric handles (first record after telemetry enable).
+  void BindInstruments();
+  bool Recording() {
+    if (!machine_->telemetry().enabled()) {
+      return false;
+    }
+    if (!instruments_bound_) {
+      BindInstruments();
+    }
+    return true;
+  }
 
   Machine* machine_;
   int server_core_;
+  int shard_id_ = 0;
   OffloadServer* server_ = nullptr;
   std::uint32_t poll_work_ = 6;
   std::vector<Channel> channels_;
   std::vector<std::uint64_t> seq_;  // per-client request sequence numbers
   OffloadEngineStats stats_;
+
+  // Telemetry handles (host-side observation only; see src/telemetry/).
+  // Sync latency is split per op; index = static_cast<int>(OffloadOp).
+  bool instruments_bound_ = false;
+  Histogram* h_sync_latency_[8] = {};
+  Histogram* h_queue_wait_ = nullptr;
+  Histogram* h_drain_batch_ = nullptr;
+  Histogram* h_ring_occupancy_ = nullptr;
+  Counter* c_sync_requests_ = nullptr;
+  Counter* c_async_ops_ = nullptr;
+  Counter* c_ring_full_ = nullptr;
 };
 
 }  // namespace ngx

@@ -24,6 +24,7 @@ OffloadFabric::OffloadFabric(Machine& machine, std::vector<int> server_cores,
   for (std::size_t s = 0; s < server_cores_.size(); ++s) {
     engines_.push_back(std::make_unique<OffloadEngine>(
         machine, server_cores_[s], channel_base + shard_stride * s, ring_capacity));
+    engines_.back()->set_shard_id(static_cast<int>(s));
   }
   async_enqueued_.assign(engines_.size(), 0);
   loads_.resize(engines_.size());
@@ -61,6 +62,23 @@ std::uint64_t OffloadFabric::SyncRequest(Env& client_env, int s, OffloadOp op,
 void OffloadFabric::AsyncRequest(Env& client_env, int s, OffloadOp op, std::uint64_t arg) {
   ++async_enqueued_[static_cast<std::size_t>(s)];
   shard(s).AsyncRequest(client_env, op, arg);
+  // Queue depth behind shard s's server, sampled at every enqueue. Purely
+  // observational: reads the enqueue/drain counters and the client clock.
+  Telemetry& tel = machine_->telemetry();
+  if (tel.enabled()) {
+    if (h_queue_depth_.empty()) {
+      for (int i = 0; i < num_shards(); ++i) {
+        h_queue_depth_.push_back(
+            &tel.metrics().GetHistogram("offload.queue_depth", {{"shard", std::to_string(i)}}));
+        depth_tracks_.push_back("shard" + std::to_string(i) + ".queue_depth");
+      }
+    }
+    const std::uint64_t depth = QueueDepth(s);
+    h_queue_depth_[static_cast<std::size_t>(s)]->Record(depth);
+    if (tel.tracing()) {
+      tel.tracer().Counter(depth_tracks_[static_cast<std::size_t>(s)], client_env.now(), depth);
+    }
+  }
 }
 
 void OffloadFabric::DrainAll() {

@@ -20,6 +20,7 @@
 #define NGX_SRC_OFFLOAD_OFFLOAD_FABRIC_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/offload/offload_engine.h"
@@ -79,6 +80,10 @@ class OffloadFabric {
   std::unique_ptr<RoutingPolicy> routing_;
   std::vector<std::uint64_t> async_enqueued_;  // per shard
   std::vector<ShardLoad> loads_;               // scratch for RouteMalloc
+
+  // Telemetry handles (lazily bound on the first enqueue after enable).
+  std::vector<Histogram*> h_queue_depth_;   // per shard
+  std::vector<std::string> depth_tracks_;   // per-shard trace counter names
 };
 
 }  // namespace ngx

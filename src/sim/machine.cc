@@ -54,6 +54,33 @@ Machine::Machine(const MachineConfig& config)
   }
 }
 
+void Machine::EnableTelemetry(const TelemetryConfig& config) {
+  telemetry_.Enable(config);
+  pmu_snapshots_ = telemetry_.tracing() && config.pmu_snapshot_interval > 0;
+  if (telemetry_.tracing()) {
+    for (int c = 0; c < num_cores(); ++c) {
+      telemetry_.tracer().SetTrackName(c, "core " + std::to_string(c));
+    }
+  }
+  next_pmu_snapshot_.assign(cores_.size(), 0);
+}
+
+void Machine::MaybePmuSnapshot(int core_id) {
+  const Core& c = core(core_id);
+  std::uint64_t& next = next_pmu_snapshot_[static_cast<std::size_t>(core_id)];
+  if (c.now() < next) {
+    return;
+  }
+  const PmuCounters& p = c.pmu();
+  Tracer& tr = telemetry_.tracer();
+  const std::string prefix = "core" + std::to_string(core_id) + ".";
+  tr.Counter(prefix + "instructions", c.now(), p.instructions);
+  tr.Counter(prefix + "llc_misses", c.now(), p.llc_load_misses + p.llc_store_misses);
+  tr.Counter(prefix + "dtlb_misses", c.now(), p.dtlb_load_misses + p.dtlb_store_misses);
+  tr.Counter(prefix + "alloc_cycles", c.now(), p.alloc_cycles);
+  next = c.now() + telemetry_.config().pmu_snapshot_interval;
+}
+
 const Machine::DirEntry* Machine::FindDir(Addr line) const {
   auto it = directory_.find(line);
   return it == directory_.end() ? nullptr : &it->second;
@@ -138,6 +165,9 @@ std::uint64_t Machine::Access(int core_id, Addr addr, std::uint32_t size, Access
     raw += config_.atomic_rmw_latency;
   }
   c.ChargeAccess(type, raw);
+  if (pmu_snapshots_) {
+    MaybePmuSnapshot(core_id);
+  }
   return raw;
 }
 

@@ -18,6 +18,7 @@
 #include "src/sim/pmu.h"
 #include "src/sim/sim_memory.h"
 #include "src/sim/types.h"
+#include "src/telemetry/telemetry.h"
 
 namespace ngx {
 
@@ -67,6 +68,13 @@ class Machine {
   AddressMap& address_map() { return address_map_; }
   const MachineConfig& config() const { return config_; }
 
+  // Observational telemetry (disabled by default; see src/telemetry/).
+  // EnableTelemetry also names the per-core trace tracks and arms the
+  // periodic PMU snapshot schedule when the config asks for one.
+  Telemetry& telemetry() { return telemetry_; }
+  const Telemetry& telemetry() const { return telemetry_; }
+  void EnableTelemetry(const TelemetryConfig& config);
+
   // Performs a timed access of `size` bytes at `addr` on behalf of `core_id`.
   // Touches every covered cache line and page, maintains coherence and PMU
   // counters, and advances the core clock. Returns the raw latency in cycles
@@ -98,6 +106,9 @@ class Machine {
   };
 
   std::uint64_t AccessLine(int core_id, Addr line, AccessType type);
+  // Emits per-core PMU counter samples into the tracer when the core's clock
+  // has crossed its next snapshot point. Reads counters and clocks only.
+  void MaybePmuSnapshot(int core_id);
   // Background fill of `line` into the LLC and the core's private caches
   // (prefetch): no latency, no demand counters, skipped if remotely owned.
   void PrefetchLine(int core_id, Addr line);
@@ -128,6 +139,9 @@ class Machine {
   std::unordered_map<Addr, DirEntry> directory_;
   std::uint64_t mem_reads_ = 0;
   std::uint64_t mem_writes_ = 0;
+  Telemetry telemetry_;
+  bool pmu_snapshots_ = false;
+  std::vector<std::uint64_t> next_pmu_snapshot_;  // per core, in cycles
 };
 
 }  // namespace ngx

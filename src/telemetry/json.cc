@@ -1,0 +1,399 @@
+#include "src/telemetry/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace ngx {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+JsonValue& JsonValue::Set(std::string_view key, JsonValue v) {
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return existing;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(v));
+  return members_.back().second;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+JsonValue& JsonValue::Push(JsonValue v) {
+  elements_.push_back(std::move(v));
+  return elements_.back();
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  if (indent > 0) {
+    out += '\n';
+  }
+  return out;
+}
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent > 0) {
+      *out += '\n';
+      out->append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+    case Kind::kNumber:
+      *out += scalar_;
+      break;
+    case Kind::kString:
+      *out += '"';
+      *out += JsonEscape(scalar_);
+      *out += '"';
+      break;
+    case Kind::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const JsonValue& e : elements_) {
+        if (!first) {
+          *out += ',';
+        }
+        first = false;
+        newline(depth + 1);
+        e.DumpTo(out, indent, depth + 1);
+      }
+      if (!elements_.empty()) {
+        newline(depth);
+      }
+      *out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) {
+          *out += ',';
+        }
+        first = false;
+        newline(depth + 1);
+        *out += '"';
+        *out += JsonEscape(k);
+        *out += "\":";
+        if (indent > 0) {
+          *out += ' ';
+        }
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (!members_.empty()) {
+        newline(depth);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+namespace {
+
+// Recursive-descent validator. Tracks position for error messages.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Run(std::string* error) {
+    SkipWs();
+    if (!Value()) {
+      Report(error);
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      err_ = "trailing data after value";
+      Report(error);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 512;
+
+  void Report(std::string* error) const {
+    if (error != nullptr) {
+      *error = err_ + " at byte " + std::to_string(pos_);
+    }
+  }
+
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWs() {
+    while (!Eof() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' || Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const char* why) {
+    if (err_.empty()) {
+      err_ = why;
+    }
+    return false;
+  }
+
+  bool Literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return Fail("invalid literal");
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool Value() {
+    if (Eof()) {
+      return Fail("unexpected end of input");
+    }
+    if (++depth_ > kMaxDepth) {
+      return Fail("nesting too deep");
+    }
+    bool ok = false;
+    switch (Peek()) {
+      case '{':
+        ok = ObjectBody();
+        break;
+      case '[':
+        ok = ArrayBody();
+        break;
+      case '"':
+        ok = String();
+        break;
+      case 't':
+        ok = Literal("true");
+        break;
+      case 'f':
+        ok = Literal("false");
+        break;
+      case 'n':
+        ok = Literal("null");
+        break;
+      default:
+        ok = Number();
+        break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool ObjectBody() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (!Eof() && Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (Eof() || Peek() != '"') {
+        return Fail("expected object key");
+      }
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (Eof() || Peek() != ':') {
+        return Fail("expected ':' after key");
+      }
+      ++pos_;
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Eof()) {
+        return Fail("unterminated object");
+      }
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ArrayBody() {
+    ++pos_;  // '['
+    SkipWs();
+    if (!Eof() && Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Eof()) {
+        return Fail("unterminated array");
+      }
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool String() {
+    ++pos_;  // '"'
+    while (true) {
+      if (Eof()) {
+        return Fail("unterminated string");
+      }
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) {
+        return Fail("raw control character in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (Eof()) {
+          return Fail("unterminated escape");
+        }
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (Eof() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' && e != 'n' &&
+                   e != 'r' && e != 't') {
+          return Fail("bad escape character");
+        }
+      }
+      ++pos_;
+    }
+  }
+
+  bool Number() {
+    const std::size_t start = pos_;
+    if (!Eof() && Peek() == '-') {
+      ++pos_;
+    }
+    if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Fail("invalid value");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!Eof() && Peek() == '.') {
+      ++pos_;
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("digit required after decimal point");
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!Eof() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!Eof() && (Peek() == '+' || Peek() == '-')) {
+        ++pos_;
+      }
+      if (Eof() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Fail("digit required in exponent");
+      }
+      while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string err_;
+};
+
+}  // namespace
+
+bool JsonValidate(std::string_view text, std::string* error) {
+  return JsonChecker(text).Run(error);
+}
+
+}  // namespace ngx

@@ -1,0 +1,76 @@
+// Minimal in-repo JSON support: a value tree for machine-readable bench
+// output, string escaping for streamed writers (the Chrome trace exporter),
+// and a validating parser so tests and CI can check emitted files without an
+// external dependency.
+#ifndef NGX_SRC_TELEMETRY_JSON_H_
+#define NGX_SRC_TELEMETRY_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ngx {
+
+// Escapes `s` for inclusion inside a JSON string literal (no surrounding
+// quotes added).
+std::string JsonEscape(std::string_view s);
+
+// Renders a double as a JSON number token ("null" for NaN/inf, which JSON
+// cannot represent).
+std::string JsonNumber(double v);
+
+// A small immutable-kind JSON value tree. Objects preserve insertion order,
+// so dumps are deterministic.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), scalar_(b ? "true" : "false") {}
+  JsonValue(double v) : kind_(Kind::kNumber), scalar_(JsonNumber(v)) {}
+  JsonValue(std::uint64_t v) : kind_(Kind::kNumber), scalar_(std::to_string(v)) {}
+  JsonValue(std::int64_t v) : kind_(Kind::kNumber), scalar_(std::to_string(v)) {}
+  JsonValue(int v) : kind_(Kind::kNumber), scalar_(std::to_string(v)) {}
+  JsonValue(std::string_view s) : kind_(Kind::kString), scalar_(s) {}
+  JsonValue(const char* s) : kind_(Kind::kString), scalar_(s) {}
+  JsonValue(const std::string& s) : kind_(Kind::kString), scalar_(s) {}
+
+  static JsonValue Object() { return JsonValue(Kind::kObject); }
+  static JsonValue Array() { return JsonValue(Kind::kArray); }
+
+  Kind kind() const { return kind_; }
+
+  // Object: sets (or replaces) `key`; returns the stored value.
+  JsonValue& Set(std::string_view key, JsonValue v);
+  const JsonValue* Find(std::string_view key) const;
+  // Array: appends; returns the stored value.
+  JsonValue& Push(JsonValue v);
+
+  const std::vector<std::pair<std::string, JsonValue>>& members() const { return members_; }
+  const std::vector<JsonValue>& elements() const { return elements_; }
+  // Scalar token / string payload (unescaped for kString).
+  const std::string& scalar() const { return scalar_; }
+
+  // Serializes; `indent` > 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = 0) const;
+
+ private:
+  explicit JsonValue(Kind k) : kind_(k) {}
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  std::string scalar_;  // token for bool/number, payload for string
+  std::vector<std::pair<std::string, JsonValue>> members_;  // object
+  std::vector<JsonValue> elements_;                         // array
+};
+
+// Validates that `text` is one well-formed JSON value (full grammar: strings
+// with escapes, numbers, nested containers). On failure returns false and,
+// if `error` is non-null, a human-readable reason with a byte offset.
+bool JsonValidate(std::string_view text, std::string* error = nullptr);
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_TELEMETRY_JSON_H_

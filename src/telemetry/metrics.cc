@@ -1,0 +1,185 @@
+#include "src/telemetry/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace ngx {
+
+std::uint32_t Histogram::BucketOf(std::uint64_t v) {
+  if (v < kSubBuckets) {
+    return static_cast<std::uint32_t>(v);
+  }
+  const int msb = 63 - std::countl_zero(v);
+  const std::uint32_t sub = static_cast<std::uint32_t>((v >> (msb - 2)) & 3u);
+  return kSubBuckets + static_cast<std::uint32_t>(msb - 2) * kSubBuckets + sub;
+}
+
+std::uint64_t Histogram::BucketUpperBound(std::uint32_t b) {
+  if (b < kSubBuckets) {
+    return b;
+  }
+  const std::uint32_t octave = (b - kSubBuckets) / kSubBuckets;
+  const std::uint32_t sub = (b - kSubBuckets) % kSubBuckets;
+  const int msb = static_cast<int>(octave) + 2;
+  const std::uint64_t width = 1ull << (msb - 2);
+  return (1ull << msb) + (sub + 1) * width - 1;
+}
+
+void Histogram::Record(std::uint64_t v) {
+  ++buckets_[BucketOf(v)];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+void Histogram::Merge(const Histogram& o) {
+  if (o.count_ == 0) {
+    return;
+  }
+  for (std::uint32_t b = 0; b < kNumBuckets; ++b) {
+    buckets_[b] += o.buckets_[b];
+  }
+  count_ += o.count_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+std::uint64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  rank = std::clamp<std::uint64_t>(rank, 1, count_);
+  std::uint64_t seen = 0;
+  for (std::uint32_t b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      return std::min(BucketUpperBound(b), max_);
+    }
+  }
+  return max_;
+}
+
+HistogramSummary Histogram::Summary() const {
+  HistogramSummary s;
+  s.count = count_;
+  s.p50 = Percentile(50);
+  s.p95 = Percentile(95);
+  s.p99 = Percentile(99);
+  s.max = max_;
+  return s;
+}
+
+std::string MetricKey(std::string_view name, const MetricLabels& labels) {
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key(name);
+  if (!sorted.empty()) {
+    key += '{';
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      if (i > 0) {
+        key += ',';
+      }
+      key += sorted[i].first;
+      key += '=';
+      key += sorted[i].second;
+    }
+    key += '}';
+  }
+  return key;
+}
+
+bool LabelsMatch(const MetricLabels& labels, const MetricLabels& subset) {
+  for (const auto& want : subset) {
+    bool found = false;
+    for (const auto& have : labels) {
+      if (have == want) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename T>
+T& MetricsRegistry::Get(EntryMap<T>& map, std::string_view name, MetricLabels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string key = MetricKey(name, labels);
+  auto it = map.find(key);
+  if (it == map.end()) {
+    it = map.emplace(std::move(key), Entry<T>{std::string(name), std::move(labels), T{}}).first;
+  }
+  return it->second.metric;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name, MetricLabels labels) {
+  return Get(counters_, name, std::move(labels));
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name, MetricLabels labels) {
+  return Get(gauges_, name, std::move(labels));
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name, MetricLabels labels) {
+  return Get(histograms_, name, std::move(labels));
+}
+
+std::uint64_t MetricsRegistry::CounterTotal(std::string_view name,
+                                            const MetricLabels& subset) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, e] : counters_) {
+    if (e.name == name && LabelsMatch(e.labels, subset)) {
+      total += e.metric.value();
+    }
+  }
+  return total;
+}
+
+Histogram MetricsRegistry::HistogramTotal(std::string_view name,
+                                          const MetricLabels& subset) const {
+  Histogram total;
+  for (const auto& [key, e] : histograms_) {
+    if (e.name == name && LabelsMatch(e.labels, subset)) {
+      total.Merge(e.metric);
+    }
+  }
+  return total;
+}
+
+JsonValue MetricsRegistry::ToJson() const {
+  JsonValue root = JsonValue::Object();
+  JsonValue& counters = root.Set("counters", JsonValue::Object());
+  for (const auto& [key, e] : counters_) {
+    counters.Set(key, e.metric.value());
+  }
+  JsonValue& gauges = root.Set("gauges", JsonValue::Object());
+  for (const auto& [key, e] : gauges_) {
+    gauges.Set(key, e.metric.value());
+  }
+  JsonValue& histograms = root.Set("histograms", JsonValue::Object());
+  for (const auto& [key, e] : histograms_) {
+    const Histogram& h = e.metric;
+    JsonValue digest = JsonValue::Object();
+    digest.Set("count", h.count());
+    digest.Set("sum", h.sum());
+    digest.Set("min", h.min());
+    digest.Set("max", h.max());
+    digest.Set("mean", h.Mean());
+    digest.Set("p50", h.Percentile(50));
+    digest.Set("p95", h.Percentile(95));
+    digest.Set("p99", h.Percentile(99));
+    histograms.Set(key, std::move(digest));
+  }
+  return root;
+}
+
+}  // namespace ngx

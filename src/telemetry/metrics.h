@@ -1,0 +1,146 @@
+// MetricsRegistry: named counters / gauges / log-bucketed histograms with
+// labels (shard id, op, allocator...). All values are in simulated units --
+// latencies are simulated cycles, sizes are entries or bytes.
+//
+// Telemetry is strictly observational: metrics live on the host side only,
+// never touch simulated memory, and never advance a core clock. Recording
+// with telemetry enabled must leave the simulation bit-identical to a run
+// with it disabled (enforced by tests/test_telemetry.cc).
+#ifndef NGX_SRC_TELEMETRY_METRICS_H_
+#define NGX_SRC_TELEMETRY_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/telemetry/json.h"
+
+namespace ngx {
+
+// Sorted (key, value) pairs; canonicalized by the registry.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void Add(std::uint64_t d = 1) { value_ += d; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(std::uint64_t v) { value_ = v; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Percentile digest of a histogram (cycles unless noted otherwise by the
+// metric). Percentiles are bucket upper bounds clamped to the observed max,
+// so p100 == max exactly and every pNN is within one bucket (<= 25% relative
+// error) of the true order statistic.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t max = 0;
+};
+
+// Log-bucketed histogram over [0, 2^64): values 0..3 get exact buckets, then
+// every power-of-two octave is split into 4 linear sub-buckets, bounding the
+// relative quantization error at 25%. Recording is O(1) with no allocation.
+class Histogram {
+ public:
+  static constexpr std::uint32_t kSubBuckets = 4;
+  static constexpr std::uint32_t kNumBuckets = 252;
+
+  // Bucket index holding `v`.
+  static std::uint32_t BucketOf(std::uint64_t v);
+  // Largest value stored in bucket `b` (inclusive).
+  static std::uint64_t BucketUpperBound(std::uint32_t b);
+
+  void Record(std::uint64_t v);
+  void Merge(const Histogram& o);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  // Value at percentile `p` in [0, 100]: the upper bound of the bucket
+  // holding the ceil(p/100 * count)-th smallest sample, clamped to max().
+  std::uint64_t Percentile(double p) const;
+
+  HistogramSummary Summary() const;
+
+  const std::array<std::uint64_t, kNumBuckets>& buckets() const { return buckets_; }
+
+ private:
+  std::array<std::uint64_t, kNumBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+};
+
+// Owns all metrics. Get* returns a stable reference (callers may cache it
+// for a cheap record path); the same (name, labels) pair always maps to the
+// same instance. Iteration order is deterministic (sorted by full key), so
+// JSON dumps are reproducible run-to-run.
+class MetricsRegistry {
+ public:
+  Counter& GetCounter(std::string_view name, MetricLabels labels = {});
+  Gauge& GetGauge(std::string_view name, MetricLabels labels = {});
+  Histogram& GetHistogram(std::string_view name, MetricLabels labels = {});
+
+  // ---- Label aggregation (reporting paths) ----
+  // Sum of all counters named `name` whose labels contain every pair of
+  // `subset` (an empty subset matches all of them).
+  std::uint64_t CounterTotal(std::string_view name, const MetricLabels& subset = {}) const;
+  // Merge of all histograms named `name` matching `subset`.
+  Histogram HistogramTotal(std::string_view name, const MetricLabels& subset = {}) const;
+
+  bool empty() const { return counters_.empty() && gauges_.empty() && histograms_.empty(); }
+
+  // {"counters": {key: value}, "gauges": {...}, "histograms": {key: digest}}
+  // where key is `name{k=v,...}` with labels sorted.
+  JsonValue ToJson() const;
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    MetricLabels labels;
+    T metric;
+  };
+  template <typename T>
+  using EntryMap = std::map<std::string, Entry<T>>;  // key -> entry, sorted
+
+  template <typename T>
+  static T& Get(EntryMap<T>& map, std::string_view name, MetricLabels labels);
+
+  EntryMap<Counter> counters_;
+  EntryMap<Gauge> gauges_;
+  EntryMap<Histogram> histograms_;
+};
+
+// Renders the canonical `name{k=v,...}` key (labels sorted by key).
+std::string MetricKey(std::string_view name, const MetricLabels& labels);
+// True if `labels` contains every (key, value) pair of `subset`.
+bool LabelsMatch(const MetricLabels& labels, const MetricLabels& subset);
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_TELEMETRY_METRICS_H_

@@ -1,0 +1,54 @@
+// Telemetry: the one toggle and the two sinks (metrics registry + tracer)
+// bundled behind Machine::telemetry().
+//
+// The contract every instrumentation site must keep: telemetry READS clocks
+// and counters, it never advances them. A run with telemetry enabled is
+// bit-identical -- same PMU counters, same cycle counts, same allocator
+// state -- to a run with it disabled. With `enabled` false every record
+// path reduces to one branch.
+#ifndef NGX_SRC_TELEMETRY_TELEMETRY_H_
+#define NGX_SRC_TELEMETRY_TELEMETRY_H_
+
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace_event.h"
+
+namespace ngx {
+
+struct TelemetryConfig {
+  // Master switch: metric recording (counters/gauges/histograms).
+  bool enabled = false;
+  // Span/instant/counter event capture for Chrome-trace export (requires
+  // `enabled`).
+  bool trace = false;
+  // Cycles between per-core PMU counter snapshots emitted into the trace
+  // (0 = off; requires `trace`).
+  std::uint64_t pmu_snapshot_interval = 0;
+  // Trace buffer cap; events beyond it are dropped and counted.
+  std::uint64_t max_trace_events = Tracer::kDefaultMaxEvents;
+};
+
+class Telemetry {
+ public:
+  void Enable(const TelemetryConfig& config) {
+    config_ = config;
+    tracer_.set_max_events(config.max_trace_events);
+  }
+
+  bool enabled() const { return config_.enabled; }
+  bool tracing() const { return config_.enabled && config_.trace; }
+  const TelemetryConfig& config() const { return config_; }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+ private:
+  TelemetryConfig config_;
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_TELEMETRY_TELEMETRY_H_

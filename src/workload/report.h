@@ -3,6 +3,7 @@
 #ifndef NGX_SRC_WORKLOAD_REPORT_H_
 #define NGX_SRC_WORKLOAD_REPORT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

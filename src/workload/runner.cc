@@ -46,6 +46,14 @@ RunResult RunWorkload(Machine& machine, Allocator& alloc, Workload& workload,
     result.server += result.per_server.back();
   }
   result.alloc_stats = alloc.stats();
+  if (machine.telemetry().enabled()) {
+    const MetricsRegistry& m = machine.telemetry().metrics();
+    for (std::size_t s = 0; s < options.server_cores.size(); ++s) {
+      const Histogram h =
+          m.HistogramTotal("offload.sync_latency", {{"shard", std::to_string(s)}});
+      result.shard_sync_latency.push_back(h.Summary());
+    }
+  }
   return result;
 }
 

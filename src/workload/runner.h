@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/telemetry/metrics.h"
 #include "src/workload/workload.h"
 
 namespace ngx {
@@ -24,6 +25,10 @@ struct RunResult {
   // backward-compatible: with one shard it is that shard's counters).
   PmuCounters server;
   AllocatorStats alloc_stats;
+  // Client-observed sync round-trip latency digest per shard (same order as
+  // RunOptions::server_cores), aggregated over ops. Populated only when the
+  // machine's telemetry was enabled; units are simulated cycles.
+  std::vector<HistogramSummary> shard_sync_latency;
 
   // Fraction of application-core cycles spent inside allocator code.
   double MallocTimeShare() const { return app.AllocCycleShare(); }

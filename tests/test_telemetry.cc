@@ -1,0 +1,332 @@
+// Telemetry-layer tests: histogram bucketing/percentile math, metric label
+// aggregation, the in-repo JSON writer/validator, Chrome-trace export, and
+// the layer's core contract -- a run with telemetry (and tracing) enabled is
+// bit-identical to the same run with telemetry off.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/nextgen_malloc.h"
+#include "src/telemetry/telemetry.h"
+#include "src/workload/runner.h"
+#include "src/workload/xalanc.h"
+#include "tests/test_util.h"
+
+namespace ngx {
+namespace {
+
+// ---- Histogram bucket math ----
+
+TEST(Histogram, SmallValuesGetExactBuckets) {
+  // 0..3 are exact: the bucket's upper bound is the value itself.
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(Histogram::BucketUpperBound(Histogram::BucketOf(v)), v);
+  }
+}
+
+TEST(Histogram, BucketUpperBoundIsTightAndMonotonic) {
+  // Every value lands in a bucket whose range covers it, and the bucket
+  // boundaries never overlap (upper(b-1) < v <= upper(b)).
+  for (const std::uint64_t v :
+       {4ull, 5ull, 7ull, 8ull, 100ull, 1000ull, 4095ull, 4096ull, 1ull << 20,
+        (1ull << 40) + 123, (1ull << 62) + 1}) {
+    const std::uint32_t b = Histogram::BucketOf(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(b)) << v;
+    ASSERT_GT(b, 0u);
+    EXPECT_GT(v, Histogram::BucketUpperBound(b - 1)) << v;
+  }
+}
+
+TEST(Histogram, QuantizationErrorBounded) {
+  // 4 sub-buckets per octave bounds relative error at 25%.
+  for (std::uint64_t v = 4; v < (1ull << 24); v = v * 3 + 1) {
+    const std::uint64_t ub = Histogram::BucketUpperBound(Histogram::BucketOf(v));
+    EXPECT_LE(static_cast<double>(ub - v) / static_cast<double>(v), 0.25) << v;
+  }
+}
+
+TEST(Histogram, PercentilesExactForExactBucketValues) {
+  // 100 samples of 0..3 cycle through the exact buckets: percentiles of a
+  // distribution confined to them have no quantization error at all.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.Record(static_cast<std::uint64_t>(i % 4));  // 25 samples each of 0,1,2,3
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.Percentile(25), 0u);
+  EXPECT_EQ(h.Percentile(50), 1u);
+  EXPECT_EQ(h.Percentile(75), 2u);
+  EXPECT_EQ(h.Percentile(100), 3u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 3u);
+}
+
+TEST(Histogram, PercentileClampsToMax) {
+  Histogram h;
+  h.Record(1000);  // bucket upper bound is > 1000, but p100 must equal max
+  EXPECT_EQ(h.Percentile(100), 1000u);
+  EXPECT_EQ(h.Summary().max, 1000u);
+  EXPECT_EQ(h.Summary().p99, 1000u);
+}
+
+TEST(Histogram, SummaryOrdering) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 10000; ++v) {
+    h.Record(v);
+  }
+  const HistogramSummary s = h.Summary();
+  EXPECT_EQ(s.count, 10000u);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+  // Each percentile is within one bucket (25%) of the true order statistic.
+  EXPECT_GE(s.p50, 5000u);
+  EXPECT_LE(s.p50, 6250u);
+  EXPECT_GE(s.p99, 9900u);
+  EXPECT_EQ(s.max, 10000u);
+}
+
+TEST(Histogram, MergeAddsCountsAndExtremes) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(5);
+  b.Record(40);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 75u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 40u);
+}
+
+TEST(Histogram, EmptyHistogramIsAllZeros) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0u);
+  EXPECT_EQ(h.Summary().p50, 0u);
+}
+
+// ---- Metric keys and label aggregation ----
+
+TEST(Metrics, KeyCanonicalizesLabelOrder) {
+  EXPECT_EQ(MetricKey("m", {{"b", "2"}, {"a", "1"}}), "m{a=1,b=2}");
+  EXPECT_EQ(MetricKey("m", {}), "m");
+}
+
+TEST(Metrics, SameNameAndLabelsShareOneInstance) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("x", {{"k", "v"}});
+  Counter& b = reg.GetCounter("x", {{"k", "v"}});
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Metrics, CounterTotalAggregatesOverLabelSubset) {
+  MetricsRegistry reg;
+  reg.GetCounter("ops", {{"shard", "0"}, {"op", "malloc"}}).Add(5);
+  reg.GetCounter("ops", {{"shard", "0"}, {"op", "free"}}).Add(7);
+  reg.GetCounter("ops", {{"shard", "1"}, {"op", "malloc"}}).Add(11);
+  reg.GetCounter("other", {{"shard", "0"}}).Add(100);
+  EXPECT_EQ(reg.CounterTotal("ops"), 23u);
+  EXPECT_EQ(reg.CounterTotal("ops", {{"shard", "0"}}), 12u);
+  EXPECT_EQ(reg.CounterTotal("ops", {{"op", "malloc"}}), 16u);
+  EXPECT_EQ(reg.CounterTotal("ops", {{"shard", "2"}}), 0u);
+}
+
+TEST(Metrics, HistogramTotalMergesMatchingShards) {
+  MetricsRegistry reg;
+  reg.GetHistogram("lat", {{"shard", "0"}}).Record(10);
+  reg.GetHistogram("lat", {{"shard", "0"}}).Record(30);
+  reg.GetHistogram("lat", {{"shard", "1"}}).Record(500);
+  const Histogram all = reg.HistogramTotal("lat");
+  EXPECT_EQ(all.count(), 3u);
+  EXPECT_EQ(all.max(), 500u);
+  const Histogram s0 = reg.HistogramTotal("lat", {{"shard", "0"}});
+  EXPECT_EQ(s0.count(), 2u);
+  EXPECT_EQ(s0.max(), 30u);
+}
+
+TEST(Metrics, ToJsonIsValidAndDeterministic) {
+  MetricsRegistry reg;
+  reg.GetCounter("c", {{"a", "1"}}).Add(2);
+  reg.GetGauge("g").Set(9);
+  reg.GetHistogram("h", {{"q", "\"quoted\\path\""}}).Record(42);
+  const std::string dump = reg.ToJson().Dump(2);
+  std::string err;
+  EXPECT_TRUE(JsonValidate(dump, &err)) << err;
+  // Iteration is sorted by key, so a second dump is byte-identical.
+  EXPECT_EQ(dump, reg.ToJson().Dump(2));
+}
+
+// ---- JSON writer / validator ----
+
+TEST(Json, ValidatorAcceptsWellFormedDocuments) {
+  for (const char* text :
+       {"{}", "[]", "null", "-3.5e2", "\"s\"", R"({"a":[1,{"b":null}],"c":"\u00e9\n"})"}) {
+    std::string err;
+    EXPECT_TRUE(JsonValidate(text, &err)) << text << ": " << err;
+  }
+}
+
+TEST(Json, ValidatorRejectsMalformedDocuments) {
+  for (const char* text : {"", "{", "[1,]", "{\"a\":}", "{'a':1}", "nul", "1 2",
+                           "\"unterminated", "{\"a\":1,}"}) {
+    EXPECT_FALSE(JsonValidate(text)) << text;
+  }
+}
+
+TEST(Json, DumpRoundTripsThroughValidator) {
+  JsonValue o = JsonValue::Object();
+  o.Set("name", JsonValue("bench \"x\"\\path\n"));
+  o.Set("nan", JsonValue(std::numeric_limits<double>::quiet_NaN()));  // -> null
+  JsonValue arr = JsonValue::Array();
+  arr.Push(JsonValue(std::uint64_t{18446744073709551615ull}));
+  arr.Push(JsonValue(-1.25));
+  arr.Push(JsonValue(true));
+  o.Set("vals", arr);
+  for (const int indent : {0, 2}) {
+    std::string err;
+    EXPECT_TRUE(JsonValidate(o.Dump(indent), &err)) << err;
+  }
+}
+
+// ---- Tracer ----
+
+TEST(Tracer, ExportsValidChromeTraceJson) {
+  Tracer tr;
+  tr.SetTrackName(0, "app core 0");
+  tr.Complete("malloc \"fast\"", 0, 100, 25);
+  tr.Instant("ring_full", 1, 200);
+  tr.Counter("queue_depth", 300, 7);
+  std::ostringstream os;
+  tr.WriteChromeTrace(os);
+  std::string err;
+  EXPECT_TRUE(JsonValidate(os.str(), &err)) << err;
+  EXPECT_NE(os.str().find("traceEvents"), std::string::npos);
+  EXPECT_EQ(os.str(), tr.ToChromeTraceJson());
+}
+
+TEST(Tracer, DropsBeyondCapWithoutGrowing) {
+  Tracer tr(/*max_events=*/4);
+  for (int i = 0; i < 10; ++i) {
+    tr.Instant("e", 0, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(tr.size(), 4u);
+  EXPECT_EQ(tr.dropped(), 6u);
+  EXPECT_TRUE(JsonValidate(tr.ToChromeTraceJson()));
+}
+
+// ---- End-to-end: instrumentation on a real offloaded run ----
+
+RunResult RunOffloaded(Machine& machine) {
+  NgxConfig cfg = NgxConfig::PaperPrototype();
+  NgxSystem sys = MakeNgxSystem(machine, cfg, /*server_core=*/1);
+  XalancConfig wl_cfg;
+  wl_cfg.documents = 2;
+  wl_cfg.nodes_per_doc = 400;
+  wl_cfg.transform_passes = 2;
+  wl_cfg.compute_per_node = 100;
+  XalancLike workload(wl_cfg);
+  RunOptions opt;
+  opt.cores = {0};
+  opt.seed = 13;
+  opt.server_cores = {1};
+  RunResult r = RunWorkload(machine, *sys.allocator, workload, opt);
+  sys.fabric->DrainAll();
+  return r;
+}
+
+void ExpectSamePmu(const PmuCounters& a, const PmuCounters& b, const char* what) {
+  EXPECT_EQ(a.cycles, b.cycles) << what;
+  EXPECT_EQ(a.instructions, b.instructions) << what;
+  EXPECT_EQ(a.loads, b.loads) << what;
+  EXPECT_EQ(a.stores, b.stores) << what;
+  EXPECT_EQ(a.atomic_rmws, b.atomic_rmws) << what;
+  EXPECT_EQ(a.l1d_load_misses, b.l1d_load_misses) << what;
+  EXPECT_EQ(a.l1d_store_misses, b.l1d_store_misses) << what;
+  EXPECT_EQ(a.l2_load_misses, b.l2_load_misses) << what;
+  EXPECT_EQ(a.l2_store_misses, b.l2_store_misses) << what;
+  EXPECT_EQ(a.llc_load_misses, b.llc_load_misses) << what;
+  EXPECT_EQ(a.llc_store_misses, b.llc_store_misses) << what;
+  EXPECT_EQ(a.remote_hitm, b.remote_hitm) << what;
+  EXPECT_EQ(a.dtlb_load_misses, b.dtlb_load_misses) << what;
+  EXPECT_EQ(a.dtlb_store_misses, b.dtlb_store_misses) << what;
+  EXPECT_EQ(a.dtlb_l1_misses, b.dtlb_l1_misses) << what;
+  EXPECT_EQ(a.alloc_instructions, b.alloc_instructions) << what;
+  EXPECT_EQ(a.alloc_cycles, b.alloc_cycles) << what;
+  EXPECT_EQ(a.invalidations_sent, b.invalidations_sent) << what;
+  EXPECT_EQ(a.invalidations_received, b.invalidations_received) << what;
+  EXPECT_EQ(a.writebacks, b.writebacks) << what;
+}
+
+TEST(TelemetryDeterminism, EnabledRunIsBitIdenticalToDisabled) {
+  // The core contract: telemetry (metrics + tracing + PMU snapshots) only
+  // reads simulation state. Same machine config, same workload, same seed
+  // -- every counter and clock must match with it on vs off.
+  Machine plain(MachineConfig::Default(2));
+  const RunResult r_off = RunOffloaded(plain);
+
+  Machine instrumented(MachineConfig::Default(2));
+  TelemetryConfig tc;
+  tc.enabled = true;
+  tc.trace = true;
+  tc.pmu_snapshot_interval = 50000;
+  instrumented.EnableTelemetry(tc);
+  const RunResult r_on = RunOffloaded(instrumented);
+
+  EXPECT_EQ(r_off.wall_cycles, r_on.wall_cycles);
+  ExpectSamePmu(r_off.app, r_on.app, "app");
+  ExpectSamePmu(r_off.server, r_on.server, "server");
+  EXPECT_EQ(r_off.alloc_stats.mallocs, r_on.alloc_stats.mallocs);
+  EXPECT_EQ(r_off.alloc_stats.frees, r_on.alloc_stats.frees);
+
+  // And the instrumented run actually observed something.
+  const MetricsRegistry& m = instrumented.telemetry().metrics();
+  EXPECT_FALSE(m.empty());
+  EXPECT_GT(m.CounterTotal("offload.sync_requests"), 0u);
+  EXPECT_GT(instrumented.telemetry().tracer().size(), 0u);
+}
+
+TEST(TelemetryDeterminism, ShardSyncLatencyDigestIsPopulatedAndSane) {
+  Machine machine(MachineConfig::Default(2));
+  TelemetryConfig tc;
+  tc.enabled = true;
+  machine.EnableTelemetry(tc);
+  const RunResult r = RunOffloaded(machine);
+
+  ASSERT_EQ(r.shard_sync_latency.size(), 1u);
+  const HistogramSummary& s = r.shard_sync_latency[0];
+  EXPECT_GT(s.count, 0u);
+  EXPECT_GT(s.p50, 0u) << "every sync round trip costs cycles";
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+  // The digest is a client-observed latency: it must cover at least the
+  // sync mallocs the allocator reports.
+  EXPECT_GE(s.count, 1u);
+  // Without telemetry the digest stays empty.
+  Machine off(MachineConfig::Default(2));
+  EXPECT_TRUE(RunOffloaded(off).shard_sync_latency.empty());
+}
+
+TEST(TelemetryDeterminism, TraceFromRealRunIsWellFormed) {
+  Machine machine(MachineConfig::Default(2));
+  TelemetryConfig tc;
+  tc.enabled = true;
+  tc.trace = true;
+  machine.EnableTelemetry(tc);
+  RunOffloaded(machine);
+  const std::string trace = machine.telemetry().tracer().ToChromeTraceJson();
+  std::string err;
+  EXPECT_TRUE(JsonValidate(trace, &err)) << err;
+  EXPECT_NE(trace.find("sync_request"), std::string::npos);
+  const std::string metrics = machine.telemetry().metrics().ToJson().Dump();
+  EXPECT_TRUE(JsonValidate(metrics, &err)) << err;
+}
+
+}  // namespace
+}  // namespace ngx
