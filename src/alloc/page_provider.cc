@@ -3,26 +3,42 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/sim/check.h"
+
 namespace ngx {
 
 PageProvider::PageProvider(Addr base, std::uint64_t window, std::string tag)
-    : base_(base), next_(base), end_(base + window), tag_(std::move(tag)) {
+    : base_(base), tag_(std::move(tag)) {
   assert(base % kHugePageBytes == 0);
+  ranges_.push_back(Range{base, base + window});
+}
+
+Addr PageProvider::Carve(std::uint64_t bytes, std::uint64_t align) {
+  for (Range& r : ranges_) {
+    const Addr addr = AlignUp(r.next, align);
+    if (addr + bytes <= r.end) {
+      r.next = addr + bytes;
+      return addr;
+    }
+  }
+  return kNullAddr;
 }
 
 Addr PageProvider::Map(Env& env, std::uint64_t bytes, PageKind kind, std::uint64_t alignment) {
   const std::uint64_t page = PageBytes(kind);
   const std::uint64_t align = std::max<std::uint64_t>(page, alignment);
   bytes = AlignUp(bytes, page);
-  const Addr addr = AlignUp(next_, align);
-  if (addr + bytes > end_) {
+  const Addr addr = Carve(bytes, align);
+  if (addr == kNullAddr) {
     return kNullAddr;
   }
-  next_ = addr + bytes;
   env.machine().address_map().Add(Region{addr, bytes, kind, tag_});
   env.ChargeSyscall();
   mapped_bytes_ += bytes;
   ++mmap_calls_;
+  if (observer_) {
+    observer_(addr, bytes, true);
+  }
   return addr;
 }
 
@@ -31,14 +47,16 @@ Addr PageProvider::MapAtStartup(Machine& machine, std::uint64_t bytes, PageKind 
   const std::uint64_t page = PageBytes(kind);
   const std::uint64_t align = std::max<std::uint64_t>(page, alignment);
   bytes = AlignUp(bytes, page);
-  const Addr addr = AlignUp(next_, align);
-  if (addr + bytes > end_) {
+  const Addr addr = Carve(bytes, align);
+  if (addr == kNullAddr) {
     return kNullAddr;
   }
-  next_ = addr + bytes;
   machine.address_map().Add(Region{addr, bytes, kind, tag_});
   mapped_bytes_ += bytes;
   ++mmap_calls_;
+  if (observer_) {
+    observer_(addr, bytes, true);
+  }
   return addr;
 }
 
@@ -51,6 +69,50 @@ void PageProvider::Unmap(Env& env, Addr addr, std::uint64_t bytes) {
   env.ChargeSyscall();
   mapped_bytes_ -= aligned;
   ++munmap_calls_;
+  if (observer_) {
+    observer_(addr, aligned, false);
+  }
+}
+
+void PageProvider::AddRange(Addr base, std::uint64_t bytes) {
+  NGX_CHECK(bytes > 0, "cannot graft an empty range");
+  for (Range& r : ranges_) {
+    if (base + bytes == r.next) {
+      // Extends a range downward in front of its unconsumed region.
+      r.next = base;
+      return;
+    }
+    if (base == r.end) {
+      r.end = base + bytes;
+      return;
+    }
+  }
+  ranges_.push_back(Range{base, base + bytes});
+}
+
+Addr PageProvider::TrimTail(std::uint64_t bytes, std::uint64_t alignment) {
+  NGX_CHECK(alignment > 0 && (alignment & (alignment - 1)) == 0,
+            "trim alignment must be a power of two");
+  for (auto it = ranges_.rbegin(); it != ranges_.rend(); ++it) {
+    if (it->end < it->next + bytes) {
+      continue;
+    }
+    const Addr candidate = it->end - bytes;
+    if (candidate % alignment != 0) {
+      continue;
+    }
+    it->end = candidate;
+    return candidate;
+  }
+  return kNullAddr;
+}
+
+std::uint64_t PageProvider::FreeBytes() const {
+  std::uint64_t total = 0;
+  for (const Range& r : ranges_) {
+    total += r.end - r.next;
+  }
+  return total;
 }
 
 }  // namespace ngx

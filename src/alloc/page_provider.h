@@ -5,10 +5,19 @@
 // the requested page kind (4 KiB or 2 MiB), which is what the TLB model
 // consults. Map/Unmap charge a mode-switch syscall cost -- the overhead UMAs
 // exist to amortize (Section 2.1).
+//
+// The window is elastic: AddRange grafts extra address ranges (span
+// donations from another shard's window) onto the provider and TrimTail
+// carves aligned tail ranges out of it (the donor side). Map bump-carves the
+// construction-time window first and falls back to grafted ranges in the
+// order they arrived, so a provider that never donates or receives behaves
+// exactly like the original fixed window.
 #ifndef NGX_SRC_ALLOC_PAGE_PROVIDER_H_
 #define NGX_SRC_ALLOC_PAGE_PROVIDER_H_
 
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "src/sim/env.h"
 
@@ -16,6 +25,10 @@ namespace ngx {
 
 class PageProvider {
  public:
+  // Observes every successful Map/Unmap (host-side bookkeeping such as the
+  // span directory; must not touch simulated state).
+  using MapObserver = std::function<void(Addr, std::uint64_t bytes, bool is_map)>;
+
   PageProvider(Addr base, std::uint64_t window, std::string tag);
 
   // Maps `bytes` (rounded up to the page size of `kind`) and returns the
@@ -32,17 +45,42 @@ class PageProvider {
   Addr MapAtStartup(Machine& machine, std::uint64_t bytes, PageKind kind,
                     std::uint64_t alignment = 0);
 
+  // Grafts [base, base+bytes) onto the window (a span grant donated by
+  // another provider). Adjacent grafts coalesce so repeated tail donations
+  // from the same donor form one contiguous range that can serve multi-span
+  // mappings. Host-side only: charges nothing.
+  void AddRange(Addr base, std::uint64_t bytes);
+
+  // Carves `bytes` off the tail of the window for donation: returns the base
+  // of the carved range (aligned to `alignment`), or kNullAddr if no range
+  // has an unconsumed, suitably aligned tail of that size. The carved bytes
+  // leave this window permanently. Host-side only: charges nothing.
+  Addr TrimTail(std::uint64_t bytes, std::uint64_t alignment);
+
+  // Unconsumed bytes across all ranges (the donor-selection signal).
+  std::uint64_t FreeBytes() const;
+
+  void set_observer(MapObserver obs) { observer_ = std::move(obs); }
+
   std::uint64_t mapped_bytes() const { return mapped_bytes_; }
   std::uint64_t mmap_calls() const { return mmap_calls_; }
   std::uint64_t munmap_calls() const { return munmap_calls_; }
   Addr base() const { return base_; }
-  Addr next() const { return next_; }
+  Addr next() const { return ranges_.front().next; }
 
  private:
+  struct Range {
+    Addr next;  // bump cursor (== the range base until first carve)
+    Addr end;
+  };
+
+  // Bump-carves from the first range that fits; kNullAddr when none does.
+  Addr Carve(std::uint64_t bytes, std::uint64_t align);
+
   Addr base_;
-  Addr next_;
-  Addr end_;
+  std::vector<Range> ranges_;  // [0] = construction window, then grafts
   std::string tag_;
+  MapObserver observer_;
   std::uint64_t mapped_bytes_ = 0;
   std::uint64_t mmap_calls_ = 0;
   std::uint64_t munmap_calls_ = 0;

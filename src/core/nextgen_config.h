@@ -15,6 +15,19 @@
 
 namespace ngx {
 
+// Where MakeNgxSystem places shard server cores (and with them the shard's
+// mailbox lines, which is what the machine model prices).
+enum class PlacementKind {
+  // Shards occupy the machine's last num_shards cores (the historical
+  // default).
+  kContiguous,
+  // Each shard's server core is picked inside the cluster holding the
+  // majority of the clients it serves under static_by_client routing
+  // (requires MachineConfig::cluster_cores > 0), falling back to the lowest
+  // free core when the cluster is fully occupied by clients.
+  kPerCluster,
+};
+
 struct NgxConfig {
   // Run malloc/free on a dedicated core via the offload engine. When false,
   // the allocator runs inline on the application cores (MMT-style ablation).
@@ -50,6 +63,21 @@ struct NgxConfig {
   std::uint32_t stash_capacity = 32;
 
   std::uint32_t ring_capacity = 64;
+
+  // Elastic heap fabric (span-granular ownership; see DESIGN.md §7).
+  // Remote frees buffered per (client, shard) and flushed `free_batch`
+  // entries per ring doorbell. 1 = unbuffered (byte-for-byte the historical
+  // path). Must not exceed ring_capacity.
+  std::uint32_t free_batch = 1;
+  // A shard whose partition runs dry requests whole free spans from the
+  // donor with the most free spans via OffloadOp::kDonateSpan (needs
+  // offload and num_shards > 1 to do anything).
+  bool span_donation = false;
+  // Server-core placement policy used by MakeNgxSystem's placed overload.
+  PlacementKind placement = PlacementKind::kContiguous;
+  // Total heap window carved into shard slices. 0 = the full kHeapWindow;
+  // tests and benches shrink it so partition exhaustion is reachable.
+  std::uint64_t heap_window = 0;
 
   static NgxConfig PaperPrototype() {
     // The 4.2 software prototype: offloaded, synchronous malloc, async free,

@@ -1,5 +1,6 @@
 #include "src/core/nextgen_malloc.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/alloc/layout.h"
@@ -25,21 +26,67 @@ NgxAllocator::NgxAllocator(Machine& machine, OffloadFabric* fabric, const NgxCon
   // Section 3.1.3: the dedicated core serializes operations, so the lock can
   // go. Inline (non-offloaded) mode keeps it unless explicitly removed.
   hc.use_lock = !config.remove_atomics;
-  // Equal disjoint partitions of the NextGen heap/metadata windows: shard s
-  // owns [base + s*window, base + (s+1)*window), making address->shard
-  // ownership a divide.
-  shard_window_ = kHeapWindow / static_cast<std::uint64_t>(nshards);
+  span_bytes_ = hc.span_bytes;
+  // Spans are donated in whole map units: a 2 MiB-backed span grant must be
+  // 2 MiB-sized and -aligned or the recipient's provider cannot map it.
+  const std::uint64_t page = config.hugepage_spans ? kHugePageBytes : kSmallPageBytes;
+  grant_unit_spans_ = AlignUp(span_bytes_, page) / span_bytes_;
+  grant_align_ = std::max(span_bytes_, page);
+  // Shards start from equal disjoint slices of the heap window; the span
+  // directory then tracks ownership as donation moves spans between them.
+  // config.heap_window shrinks the data window (partition-exhaustion tests);
+  // metadata slices keep the full-window stride, since the side tables are
+  // sized by span count, not by the data window.
+  const std::uint64_t window = config.heap_window ? config.heap_window : kHeapWindow;
+  NGX_CHECK(window <= kHeapWindow && window % static_cast<std::uint64_t>(nshards) == 0,
+            "heap window must split evenly across shards");
+  shard_window_ = window / static_cast<std::uint64_t>(nshards);
+  NGX_CHECK(shard_window_ % kHugePageBytes == 0,
+            "shard slices must stay hugepage aligned");
+  const std::uint64_t meta_stride = kHeapWindow / static_cast<std::uint64_t>(nshards);
   hc.window_bytes = shard_window_;
+  hc.meta_window_bytes = meta_stride;
+  if (nshards > 1) {
+    directory_ = std::make_unique<SpanDirectory>(kNgxHeapBase, window, span_bytes_, nshards);
+  }
+  donation_ = config.span_donation && fabric != nullptr && nshards > 1;
+  NGX_CHECK(!donation_ || nshards <= 256,
+            "kDonateSpan packs the requester shard into 8 bits");
   heaps_.reserve(static_cast<std::size_t>(nshards));
   shard_servers_.reserve(static_cast<std::size_t>(nshards));
   for (int s = 0; s < nshards; ++s) {
-    const std::uint64_t off = shard_window_ * static_cast<std::uint64_t>(s);
-    heaps_.push_back(MakeServerHeap(machine, config.segregated_metadata, kNgxHeapBase + off,
-                                    kNgxMetaBase + off, hc));
+    heaps_.push_back(MakeServerHeap(machine, config.segregated_metadata,
+                                    kNgxHeapBase + shard_window_ * static_cast<std::uint64_t>(s),
+                                    kNgxMetaBase + meta_stride * static_cast<std::uint64_t>(s),
+                                    hc));
+    if (directory_ != nullptr) {
+      // Host-side bookkeeping mirror of this shard's data mappings; the
+      // observer must never touch simulated state.
+      heaps_.back()->span_provider().set_observer(
+          [this, s](Addr addr, std::uint64_t bytes, bool is_map) {
+            if (is_map) {
+              directory_->NoteMapped(s, addr, bytes);
+            } else {
+              directory_->NoteUnmapped(s, addr, bytes);
+            }
+          });
+    }
     if (fabric != nullptr) {
       shard_servers_.push_back(std::make_unique<ShardServer>(this, s));
       fabric->set_server(s, shard_servers_.back().get());
     }
+  }
+  NGX_CHECK(config.free_batch >= 1 && config.free_batch <= config.ring_capacity,
+            "free_batch must fit in one async ring");
+  if (config.offload && config.free_batch > 1) {
+    freebuf_slot_ = AlignUp(IndexStack::FootprintBytes(config.free_batch), 64);
+    freebuf_stride_ =
+        AlignUp(freebuf_slot_ * static_cast<std::uint64_t>(nshards), kSmallPageBytes);
+    freebuf_provider_ = std::make_unique<PageProvider>(kNgxFreeBufBase, kHeapWindow,
+                                                       "ngx-freebuf");
+    freebuf_base_ = freebuf_provider_->MapAtStartup(
+        machine, freebuf_stride_ * static_cast<std::uint64_t>(machine.num_cores()),
+        PageKind::kSmall4K);
   }
   if (config.prediction) {
     predictor_.emplace(machine.num_cores(), classes_.num_classes(), config.max_predict_batch);
@@ -73,6 +120,8 @@ void NgxAllocator::BindInstruments() {
   c_free_local_ = &m.GetCounter("ngx.frees", {{"alloc", "nextgen"}, {"locality", "local"}});
   c_free_remote_ = &m.GetCounter("ngx.frees", {{"alloc", "nextgen"}, {"locality", "remote"}});
   c_free_unknown_ = &m.GetCounter("ngx.frees", {{"alloc", "nextgen"}, {"locality", "unknown"}});
+  h_flush_occupancy_ = &m.GetHistogram("ngx.free_flush_occupancy", {{"alloc", "nextgen"}});
+  c_donated_spans_ = &m.GetCounter("ngx.donated_spans", {{"alloc", "nextgen"}});
   instruments_bound_ = true;
 }
 
@@ -91,9 +140,9 @@ int NgxAllocator::ShardOfAddr(Addr addr) const {
   if (heaps_.size() == 1) {
     return 0;
   }
-  assert(addr >= kNgxHeapBase && addr < kNgxHeapBase + kHeapWindow &&
-         "address outside the NextGen heap window");
-  return static_cast<int>((addr - kNgxHeapBase) / shard_window_);
+  // Span-granular lookup: donation moves spans between shards mid-run, so
+  // the old fixed-slice divide would misroute frees of donated spans.
+  return directory_->OwnerOfAddr(addr);
 }
 
 Addr NgxAllocator::Malloc(Env& env, std::uint64_t size) {
@@ -160,12 +209,46 @@ void NgxAllocator::Free(Env& env, Addr addr) {
   // matter which client frees it or which policy routed the malloc.
   const int shard = ShardOfAddr(addr);
   if (config_.async_free) {
-    fabric_->AsyncRequest(env, shard, OffloadOp::kFree, addr);
+    if (config_.free_batch > 1) {
+      // Buffer locally; one ring doorbell per free_batch entries.
+      IndexStack buf = FreeBuf(env.core_id(), shard);
+      if (!buf.Push(env, addr)) {
+        FlushFreeBuf(env, shard);
+        [[maybe_unused]] const bool pushed = buf.Push(env, addr);
+        assert(pushed && "a flushed free buffer must have room");
+      }
+      ++buffered_frees_;
+    } else {
+      fabric_->AsyncRequest(env, shard, OffloadOp::kFree, addr);
+    }
   } else {
     fabric_->SyncRequest(env, shard, OffloadOp::kFree, addr);
   }
   if (rec) {
     h_free_->Record(env.now() - t0);
+  }
+}
+
+void NgxAllocator::FlushFreeBuf(Env& env, int shard) {
+  IndexStack buf = FreeBuf(env.core_id(), shard);
+  std::uint64_t addrs[kMaxRingCapacity];
+  std::uint32_t n = 0;
+  std::uint64_t addr = 0;
+  while (buf.Pop(env, &addr)) {
+    addrs[n++] = addr;
+  }
+  if (n == 0) {
+    return;
+  }
+  const std::uint64_t t0 = env.now();
+  fabric_->AsyncRequestBatch(env, shard, addrs, n);
+  ++free_flushes_;
+  if (Recording()) {
+    h_flush_occupancy_->Record(n);
+    Telemetry& tel = machine_->telemetry();
+    if (tel.tracing()) {
+      tel.tracer().Complete("free_flush", env.core_id(), t0, env.now() - t0);
+    }
   }
 }
 
@@ -192,6 +275,13 @@ void NgxAllocator::Flush(Env& env) {
       }
     }
   }
+  // Teardown must not lose buffered remote frees: drain this core's
+  // per-shard free buffers (partial batches ride a smaller doorbell).
+  if (config_.free_batch > 1) {
+    for (int s = 0; s < fabric_->num_shards(); ++s) {
+      FlushFreeBuf(env, s);
+    }
+  }
   for (int s = 0; s < fabric_->num_shards(); ++s) {
     fabric_->SyncRequest(env, s, OffloadOp::kFlush, 0);
   }
@@ -201,10 +291,24 @@ std::uint64_t NgxAllocator::HandleShardRequest(Env& server_env, int shard, int c
                                                OffloadOp op, std::uint64_t arg) {
   ServerHeap& heap = *heaps_[static_cast<std::size_t>(shard)];
   switch (op) {
-    case OffloadOp::kMalloc:
-      return heap.Malloc(server_env, arg);
+    case OffloadOp::kMalloc: {
+      Addr a = heap.Malloc(server_env, arg);
+      if (a == kNullAddr && donation_) {
+        a = MallocWithDonation(server_env, shard, arg);
+      }
+      if (a == kNullAddr) {
+        ++partition_ooms_;
+      }
+      return a;
+    }
     case OffloadOp::kMallocBatch: {
-      const Addr first = heap.Malloc(server_env, arg);
+      Addr first = heap.Malloc(server_env, arg);
+      if (first == kNullAddr && donation_) {
+        first = MallocWithDonation(server_env, shard, arg);
+      }
+      if (first == kNullAddr) {
+        ++partition_ooms_;
+      }
       if (first == kNullAddr || !config_.prediction) {
         return first;
       }
@@ -233,6 +337,121 @@ std::uint64_t NgxAllocator::HandleShardRequest(Env& server_env, int shard, int c
       return heap.UsableSize(server_env, arg);
     case OffloadOp::kFlush:
       return 0;
+    case OffloadOp::kDonateSpan:
+      return HandleDonateSpan(server_env, shard, arg);
+  }
+  return 0;
+}
+
+std::uint64_t NgxAllocator::NeededGrantSpans(std::uint64_t size) const {
+  std::uint64_t map_bytes;
+  if (size <= classes_.max_size()) {
+    // Small classes bump-carve whole spans; one grant unit refills a class.
+    map_bytes = grant_unit_spans_ * span_bytes_;
+  } else if (config_.segregated_metadata) {
+    map_bytes = AlignUp(AlignUp(size, span_bytes_),
+                        config_.hugepage_spans ? kHugePageBytes : kSmallPageBytes);
+  } else {
+    // Aggregated large regions carry a page-sized header before user bytes.
+    map_bytes = AlignUp(size, kSmallPageBytes) + kSmallPageBytes;
+  }
+  const std::uint64_t spans = AlignUp(map_bytes, span_bytes_) / span_bytes_;
+  return AlignUp(spans, grant_unit_spans_);
+}
+
+int NgxAllocator::PickDonor(const std::vector<bool>& excluded) const {
+  int best = -1;
+  std::uint64_t best_free = 0;
+  for (int s = 0; s < num_shards(); ++s) {
+    if (excluded[static_cast<std::size_t>(s)]) {
+      continue;
+    }
+    const std::uint64_t f = directory_->free_spans(s);
+    if (f > best_free) {  // ties keep the lower shard id (deterministic)
+      best_free = f;
+      best = s;
+    }
+  }
+  return best;
+}
+
+Addr NgxAllocator::MallocWithDonation(Env& server_env, int shard, std::uint64_t size) {
+  const std::uint64_t need = NeededGrantSpans(size);
+  NGX_CHECK(need < (1ull << 16), "span grant too large for the donation protocol");
+  std::vector<bool> excluded(heaps_.size(), false);
+  excluded[static_cast<std::size_t>(shard)] = true;
+  // Each round grafts at least one grant unit onto the partition (donors
+  // fall back to a single unit when they cannot spare `need` contiguous
+  // spans; successive tail trims from one donor coalesce into a contiguous
+  // range), or excludes an empty donor. Bounded by work, not luck.
+  const std::uint64_t max_rounds = need / grant_unit_spans_ + heaps_.size() + 1;
+  for (std::uint64_t round = 0; round < max_rounds; ++round) {
+    // Cheapest first: the shard's own recycled spans need no fabric message.
+    const Addr self = directory_->TakeRecycled(shard, need, grant_align_);
+    if (self != kNullAddr) {
+      heaps_[static_cast<std::size_t>(shard)]->span_provider().AddRange(self,
+                                                                        need * span_bytes_);
+    } else {
+      const int donor = PickDonor(excluded);
+      if (donor < 0) {
+        break;  // every shard is dry: a true fabric-wide OOM
+      }
+      const std::uint64_t arg =
+          (need << 8) | static_cast<std::uint64_t>(static_cast<unsigned>(shard));
+      const std::uint64_t resp =
+          fabric_->SyncRequest(server_env, donor, OffloadOp::kDonateSpan, arg);
+      if (resp == 0) {
+        excluded[static_cast<std::size_t>(donor)] = true;
+        continue;
+      }
+      const Addr base = resp & ~static_cast<std::uint64_t>(0xffff);
+      const std::uint64_t got = resp & 0xffff;
+      heaps_[static_cast<std::size_t>(shard)]->span_provider().AddRange(base,
+                                                                        got * span_bytes_);
+      if (got < need) {
+        continue;  // partial grant: accrete more before retrying the malloc
+      }
+    }
+    const Addr a = heaps_[static_cast<std::size_t>(shard)]->Malloc(server_env, size);
+    if (a != kNullAddr) {
+      return a;
+    }
+  }
+  // Partial grants may have accreted enough by the time the loop exits.
+  return heaps_[static_cast<std::size_t>(shard)]->Malloc(server_env, size);
+}
+
+std::uint64_t NgxAllocator::HandleDonateSpan(Env& server_env, int donor, std::uint64_t arg) {
+  const int requester = static_cast<int>(arg & 0xff);
+  const std::uint64_t want = arg >> 8;
+  NGX_CHECK(requester >= 0 && requester < num_shards() && requester != donor,
+            "malformed donation request");
+  // Donor-side bookkeeping: recycled-pool scan plus directory update.
+  server_env.Work(12);
+  PageProvider& provider = heaps_[static_cast<std::size_t>(donor)]->span_provider();
+  for (const std::uint64_t n : {want, grant_unit_spans_}) {
+    if (n == 0 || n > want) {
+      continue;
+    }
+    // Recycled spans first (they are already carved out of the window);
+    // otherwise trim the unconsumed tail of the donor's window.
+    Addr base = directory_->TakeRecycled(donor, n, grant_align_);
+    if (base == kNullAddr) {
+      base = provider.TrimTail(n * span_bytes_, grant_align_);
+    }
+    if (base == kNullAddr) {
+      continue;
+    }
+    directory_->TransferRange(base, n, donor, requester);
+    if (Recording()) {
+      c_donated_spans_->Add(n);
+      Telemetry& tel = machine_->telemetry();
+      if (tel.tracing()) {
+        tel.tracer().Instant("donate_span", server_env.core_id(), server_env.now());
+      }
+    }
+    assert((base & 0xffff) == 0 && "span bases leave the count bits free");
+    return base | n;
   }
   return 0;
 }
@@ -271,6 +490,74 @@ NgxSystem MakeNgxSystem(Machine& machine, const NgxConfig& config,
     sys.allocator = std::make_unique<NgxAllocator>(machine, nullptr, config);
   }
   return sys;
+}
+
+std::vector<int> ChooseServerCores(const Machine& machine, const NgxConfig& config,
+                                   const std::vector<int>& client_cores) {
+  NGX_CHECK(config.offload, "server-core placement needs the offload fabric");
+  const int ncores = machine.num_cores();
+  std::vector<bool> taken(static_cast<std::size_t>(ncores), false);
+  for (const int c : client_cores) {
+    NGX_CHECK(c >= 0 && c < ncores, "client core out of range");
+    taken[static_cast<std::size_t>(c)] = true;
+  }
+  std::vector<int> cores;
+  cores.reserve(static_cast<std::size_t>(config.num_shards));
+  if (config.placement == PlacementKind::kContiguous) {
+    for (int s = 0; s < config.num_shards; ++s) {
+      const int core = ncores - config.num_shards + s;
+      NGX_CHECK(core >= 0 && !taken[static_cast<std::size_t>(core)],
+                "contiguous placement collides with a client core");
+      cores.push_back(core);
+    }
+    return cores;
+  }
+  const int k = machine.config().cluster_cores;
+  NGX_CHECK(k > 0, "per_cluster placement needs MachineConfig::cluster_cores");
+  const int nclusters = (ncores + k - 1) / k;
+  for (int s = 0; s < config.num_shards; ++s) {
+    // The clients static_by_client routing sends to shard s, bucketed by
+    // cluster; majority wins, ties to the lower cluster.
+    std::vector<int> votes(static_cast<std::size_t>(nclusters), 0);
+    for (const int c : client_cores) {
+      if (c % config.num_shards == s) {
+        ++votes[static_cast<std::size_t>(c / k)];
+      }
+    }
+    int cluster = 0;
+    for (int j = 1; j < nclusters; ++j) {
+      if (votes[static_cast<std::size_t>(j)] > votes[static_cast<std::size_t>(cluster)]) {
+        cluster = j;
+      }
+    }
+    int chosen = -1;
+    for (int c = cluster * k; c < std::min((cluster + 1) * k, ncores); ++c) {
+      if (!taken[static_cast<std::size_t>(c)]) {
+        chosen = c;
+        break;
+      }
+    }
+    if (chosen < 0) {  // cluster fully occupied: lowest free core anywhere
+      for (int c = 0; c < ncores; ++c) {
+        if (!taken[static_cast<std::size_t>(c)]) {
+          chosen = c;
+          break;
+        }
+      }
+    }
+    NGX_CHECK(chosen >= 0, "not enough free cores for the shard servers");
+    taken[static_cast<std::size_t>(chosen)] = true;
+    cores.push_back(chosen);
+  }
+  return cores;
+}
+
+NgxSystem MakeNgxSystemPlaced(Machine& machine, const NgxConfig& config,
+                              const std::vector<int>& client_cores) {
+  if (!config.offload) {
+    return MakeNgxSystem(machine, config, std::vector<int>{});
+  }
+  return MakeNgxSystem(machine, config, ChooseServerCores(machine, config, client_cores));
 }
 
 NgxSystem MakeNgxSystem(Machine& machine, const NgxConfig& config, int first_server_core) {

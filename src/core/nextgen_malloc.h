@@ -12,9 +12,14 @@
 //    application cores' caches (Section 3.1.2), with its lock atomics
 //    removed (Section 3.1.3). Mallocs pick a shard through the fabric's
 //    RoutingPolicy; frees and UsableSize always return to the shard that
-//    owns the block's heap partition, resolved by the address->shard map
-//    (partitions are equal slices of the NextGen heap window, so ownership
-//    is a divide -- no shared lookup structure to bounce between cores).
+//    owns the block's heap partition, resolved through the SpanDirectory
+//    (span-granular ownership held host-side on the allocator cores, so the
+//    lookup never bounces cache lines between application cores). Partitions
+//    start as equal slices of the NextGen heap window and rebalance at span
+//    granularity: a dry shard requests free spans from the best-stocked
+//    donor over the fabric's kDonateSpan message (config.span_donation).
+//    With config.free_batch > 1, remote frees accumulate in per-(client,
+//    shard) buffers and flush free_batch entries per ring doorbell.
 //
 // Set config.offload = false for the MMT-style inline ablation: the same
 // heap runs on the calling core (the lock must then be kept when several
@@ -33,6 +38,7 @@
 #include "src/alloc/size_classes.h"
 #include "src/core/nextgen_config.h"
 #include "src/core/server_heap.h"
+#include "src/core/span_directory.h"
 #include "src/offload/offload_fabric.h"
 #include "src/offload/prediction.h"
 
@@ -57,8 +63,9 @@ class NgxAllocator : public Allocator {
   std::uint64_t HandleShardRequest(Env& server_env, int shard, int client, OffloadOp op,
                                    std::uint64_t arg);
 
-  // The shard owning `addr`: heap partitions are equal slices of the
-  // NextGen heap window, so ownership is pure arithmetic.
+  // The shard owning `addr`, resolved through the span directory (spans can
+  // change hands mid-run via donation; a free issued mid-donation lands at
+  // the current owner).
   int ShardOfAddr(Addr addr) const;
 
   const NgxConfig& config() const { return config_; }
@@ -69,6 +76,16 @@ class NgxAllocator : public Allocator {
   }
   std::uint64_t stash_hits() const { return stash_hits_; }
   std::uint64_t sync_mallocs() const { return sync_mallocs_; }
+
+  // Span-granular ownership bookkeeping (present when num_shards > 1).
+  const SpanDirectory* directory() const { return directory_.get(); }
+  SpanDirectory* directory() { return directory_.get(); }
+  // Mallocs that failed because the shard's partition was exhausted and
+  // donation could not (or was not allowed to) refill it.
+  std::uint64_t partition_oom_failures() const { return partition_ooms_; }
+  // Remote frees buffered and later flushed in a batch (0 with free_batch=1).
+  std::uint64_t buffered_frees() const { return buffered_frees_; }
+  std::uint64_t free_flushes() const { return free_flushes_; }
 
  private:
   // Binds one fabric shard's OffloadServer callback to (allocator, shard).
@@ -97,6 +114,28 @@ class NgxAllocator : public Allocator {
     return size <= classes_.max_size() ? classes_.ClassOf(size) : classes_.num_classes();
   }
 
+  IndexStack FreeBuf(int core, int shard) const {
+    return IndexStack(freebuf_base_ + freebuf_stride_ * static_cast<std::uint64_t>(core) +
+                          freebuf_slot_ * static_cast<std::uint64_t>(shard),
+                      config_.free_batch);
+  }
+  // Drains `core`'s free buffer for `shard` into one multi-entry ring
+  // doorbell (no-op when empty).
+  void FlushFreeBuf(Env& env, int shard);
+
+  // Grant sizing: spans are donated in whole map units so the recipient's
+  // provider can satisfy its next Map from the grafted range.
+  std::uint64_t NeededGrantSpans(std::uint64_t size) const;
+  // Requester side (runs on shard's server core): refill the partition from
+  // the shard's own recycled pool or a donor and retry the malloc.
+  Addr MallocWithDonation(Env& server_env, int shard, std::uint64_t size);
+  // Donor side of OffloadOp::kDonateSpan; returns base|nspans, 0 = nothing
+  // to give.
+  std::uint64_t HandleDonateSpan(Env& server_env, int donor, std::uint64_t arg);
+  // Shard with the most free spans, excluding entries of `excluded`; -1 if
+  // none has any.
+  int PickDonor(const std::vector<bool>& excluded) const;
+
   // Lazily binds metric handles; returns whether telemetry is recording.
   bool Recording();
   void BindInstruments();
@@ -114,7 +153,13 @@ class NgxAllocator : public Allocator {
   SizeClasses classes_;  // client-side class computation for stash/routing
   std::vector<std::unique_ptr<ServerHeap>> heaps_;  // one partition per shard
   std::vector<std::unique_ptr<ShardServer>> shard_servers_;
-  std::uint64_t shard_window_ = 0;  // bytes of heap window per shard
+  std::uint64_t shard_window_ = 0;  // bytes of heap window per shard (initial slice)
+  std::unique_ptr<SpanDirectory> directory_;  // span->shard owner (num_shards > 1)
+  bool donation_ = false;            // kDonateSpan rebalancing active
+  std::uint64_t span_bytes_ = 0;
+  std::uint64_t grant_unit_spans_ = 0;  // spans per smallest donatable grant
+  std::uint64_t grant_align_ = 0;       // base alignment donated ranges need
+  std::uint64_t partition_ooms_ = 0;
   OffloadFabric* fabric_;
   std::optional<AllocationPredictor> predictor_;
   std::unique_ptr<PageProvider> stash_provider_;
@@ -123,6 +168,12 @@ class NgxAllocator : public Allocator {
   std::uint64_t stash_slot_ = 0;
   std::uint64_t stash_hits_ = 0;
   std::uint64_t sync_mallocs_ = 0;
+  std::unique_ptr<PageProvider> freebuf_provider_;  // free_batch > 1 only
+  Addr freebuf_base_ = 0;
+  std::uint64_t freebuf_stride_ = 0;  // per client core
+  std::uint64_t freebuf_slot_ = 0;    // per shard within a core's block
+  std::uint64_t buffered_frees_ = 0;
+  std::uint64_t free_flushes_ = 0;
 
   // Telemetry handles (host-side observation only; see src/telemetry/).
   bool instruments_bound_ = false;
@@ -133,6 +184,8 @@ class NgxAllocator : public Allocator {
   Counter* c_free_local_ = nullptr;
   Counter* c_free_remote_ = nullptr;
   Counter* c_free_unknown_ = nullptr;
+  Histogram* h_flush_occupancy_ = nullptr;  // entries per remote-free flush
+  Counter* c_donated_spans_ = nullptr;
   std::unordered_map<Addr, int> alloc_core_;  // live block -> obtaining core
 };
 
@@ -146,6 +199,19 @@ struct NgxSystem {
 // Shards occupy the explicit core list (size must equal config.num_shards).
 NgxSystem MakeNgxSystem(Machine& machine, const NgxConfig& config,
                         std::vector<int> server_cores);
+
+// Server cores chosen by config.placement for the given application cores:
+// kContiguous = the machine's last num_shards cores; kPerCluster = for each
+// shard, the lowest free core inside the cluster (MachineConfig::
+// cluster_cores) holding the majority of the clients static_by_client
+// routing sends to it (ties to the lowest cluster; lowest free core anywhere
+// when that cluster has no core to spare).
+std::vector<int> ChooseServerCores(const Machine& machine, const NgxConfig& config,
+                                   const std::vector<int>& client_cores);
+
+// Convenience: ChooseServerCores + MakeNgxSystem.
+NgxSystem MakeNgxSystemPlaced(Machine& machine, const NgxConfig& config,
+                              const std::vector<int>& client_cores);
 
 // Shards occupy cores first_server_core .. first_server_core+num_shards-1;
 // -1 places them on the machine's last num_shards cores. With num_shards = 1

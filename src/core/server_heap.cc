@@ -28,7 +28,10 @@ class SegregatedHeap : public ServerHeap {
         classes_(config.small_max),
         span_provider_(heap_base, config.window_bytes ? config.window_bytes : kHeapWindow,
                        "ngx-span"),
-        meta_provider_(meta_base, config.window_bytes ? config.window_bytes : kHeapWindow,
+        meta_provider_(meta_base,
+                       config.meta_window_bytes
+                           ? config.meta_window_bytes
+                           : (config.window_bytes ? config.window_bytes : kHeapWindow),
                        "ngx-meta"),
         heap_base_(heap_base),
         lock_(0) {
@@ -104,6 +107,8 @@ class SegregatedHeap : public ServerHeap {
     s.munmap_calls = span_provider_.munmap_calls();
     return s;
   }
+
+  PageProvider& span_provider() override { return span_provider_; }
 
  private:
   static constexpr std::uint16_t kTagFree = 0;
@@ -217,7 +222,10 @@ class AggregatedHeap : public ServerHeap {
         lock_(0) {
     const std::uint32_t ncls = classes_.num_classes();
     meta_provider_ = std::make_unique<PageProvider>(
-        meta_base, config.window_bytes ? config.window_bytes : kHeapWindow, "ngx-agg-meta");
+        meta_base,
+        config.meta_window_bytes ? config.meta_window_bytes
+                                 : (config.window_bytes ? config.window_bytes : kHeapWindow),
+        "ngx-agg-meta");
     meta_base_ = meta_provider_->MapAtStartup(
         machine, AlignUp(64 + 8ull * ncls + 16ull * ncls, kSmallPageBytes),
         PageKind::kSmall4K);
@@ -294,6 +302,8 @@ class AggregatedHeap : public ServerHeap {
     s.munmap_calls = provider_.munmap_calls();
     return s;
   }
+
+  PageProvider& span_provider() override { return provider_; }
 
  private:
   static constexpr std::uint64_t kLargeFlag = 1ull << 63;

@@ -29,6 +29,10 @@ class ServerHeap {
   virtual void Free(Env& env, Addr addr) = 0;
   virtual std::uint64_t UsableSize(Env& env, Addr addr) = 0;
   virtual AllocatorStats stats() const = 0;
+  // The provider carving this heap's data window (spans and large regions).
+  // The elastic fabric grafts donated span ranges onto it and observes its
+  // mappings; never the metadata provider.
+  virtual PageProvider& span_provider() = 0;
 };
 
 struct ServerHeapConfig {
@@ -41,6 +45,10 @@ struct ServerHeapConfig {
   // 0 means the full kHeapWindow; the sharded fabric passes
   // kHeapWindow / num_shards so shard partitions stay disjoint.
   std::uint64_t window_bytes = 0;
+  // Metadata window override: the side tables are sized by span count, not
+  // by the data window, so a shrunken data window (elastic-fabric tests)
+  // still needs the full metadata slice. 0 = same as window_bytes.
+  std::uint64_t meta_window_bytes = 0;
 };
 
 // Factory: `segregated` selects the layout. `heap_base`/`meta_base` carve

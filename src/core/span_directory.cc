@@ -1,0 +1,161 @@
+#include "src/core/span_directory.h"
+
+#include "src/sim/check.h"
+
+namespace ngx {
+
+SpanDirectory::SpanDirectory(Addr heap_base, std::uint64_t window_bytes,
+                             std::uint64_t span_bytes, int num_shards)
+    : heap_base_(heap_base), span_bytes_(span_bytes), num_shards_(num_shards) {
+  NGX_CHECK(span_bytes > 0 && window_bytes % span_bytes == 0,
+            "heap window must be a whole number of spans");
+  NGX_CHECK(num_shards >= 1 && num_shards <= 32767, "shard count out of range");
+  const std::uint64_t nspans = window_bytes / span_bytes;
+  NGX_CHECK(nspans % static_cast<std::uint64_t>(num_shards) == 0,
+            "initial slices must be equal span counts");
+  owner_.resize(nspans);
+  state_.assign(nspans, State::kUngranted);
+  const std::uint64_t per_shard = nspans / static_cast<std::uint64_t>(num_shards);
+  for (std::uint64_t s = 0; s < nspans; ++s) {
+    owner_[s] = static_cast<std::int16_t>(s / per_shard);
+  }
+  recycled_.resize(static_cast<std::size_t>(num_shards));
+  free_spans_.assign(static_cast<std::size_t>(num_shards), per_shard);
+  donated_out_.assign(static_cast<std::size_t>(num_shards), 0);
+  donated_in_.assign(static_cast<std::size_t>(num_shards), 0);
+}
+
+std::uint64_t SpanDirectory::SpanOfAddr(Addr addr) const {
+  NGX_CHECK(addr >= heap_base_ && addr < heap_base_ + owner_.size() * span_bytes_,
+            "address outside the heap window");
+  return (addr - heap_base_) / span_bytes_;
+}
+
+int SpanDirectory::OwnerOfSpan(std::uint64_t span) const {
+  NGX_CHECK(span < owner_.size(), "span index outside the heap window");
+  return owner_[span];
+}
+
+void SpanDirectory::NoteMapped(int shard, Addr addr, std::uint64_t bytes) {
+  const std::uint64_t first = SpanOfAddr(addr);
+  const std::uint64_t last = SpanOfAddr(addr + bytes - 1);
+  for (std::uint64_t s = first; s <= last; ++s) {
+    NGX_CHECK(owner_[s] == shard, "shard mapped a span it does not own");
+    if (state_[s] != State::kGranted) {
+      if (state_[s] == State::kRecycled) {
+        RemoveRecycledRun(shard, s, 1);
+      }
+      state_[s] = State::kGranted;
+      --free_spans_[static_cast<std::size_t>(shard)];
+    }
+  }
+}
+
+void SpanDirectory::NoteUnmapped(int shard, Addr addr, std::uint64_t bytes) {
+  // Only fully covered spans become recyclable; a span partially covered by
+  // this unmapping may still back another live mapping.
+  const Addr lo = AlignUp(addr, span_bytes_);
+  const Addr hi = ((addr + bytes) / span_bytes_) * span_bytes_;
+  for (Addr a = lo; a + span_bytes_ <= hi; a += span_bytes_) {
+    const std::uint64_t s = SpanOfAddr(a);
+    NGX_CHECK(owner_[s] == shard, "shard unmapped a span it does not own");
+    if (state_[s] != State::kGranted) {
+      continue;
+    }
+    state_[s] = State::kRecycled;
+    ++free_spans_[static_cast<std::size_t>(shard)];
+    std::vector<SpanRun>& runs = recycled_[static_cast<std::size_t>(shard)];
+    if (!runs.empty() && runs.back().first + runs.back().count == s) {
+      ++runs.back().count;
+    } else {
+      runs.push_back(SpanRun{s, 1});
+    }
+  }
+}
+
+void SpanDirectory::RemoveRecycledRun(int shard, std::uint64_t first, std::uint64_t count) {
+  std::vector<SpanRun>& runs = recycled_[static_cast<std::size_t>(shard)];
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    SpanRun& r = runs[i];
+    if (first < r.first || first + count > r.first + r.count) {
+      continue;
+    }
+    const SpanRun before{r.first, first - r.first};
+    const SpanRun after{first + count, r.first + r.count - (first + count)};
+    if (before.count == 0 && after.count == 0) {
+      runs.erase(runs.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (before.count == 0) {
+      r = after;
+    } else if (after.count == 0) {
+      r = before;
+    } else {
+      r = before;
+      runs.insert(runs.begin() + static_cast<std::ptrdiff_t>(i) + 1, after);
+    }
+    return;
+  }
+  NGX_CHECK(false, "span run not found in the recycled pool");
+}
+
+Addr SpanDirectory::TakeRecycled(int shard, std::uint64_t nspans, std::uint64_t alignment) {
+  NGX_CHECK(nspans > 0, "cannot take zero spans");
+  NGX_CHECK(alignment > 0 && (alignment & (alignment - 1)) == 0,
+            "take alignment must be a power of two");
+  const std::vector<SpanRun>& runs = recycled_[static_cast<std::size_t>(shard)];
+  for (const SpanRun& r : runs) {
+    const Addr base = AlignUp(AddrOfSpan(r.first), alignment);
+    const std::uint64_t first = (base - heap_base_) / span_bytes_;
+    if (first + nspans > r.first + r.count) {
+      continue;
+    }
+    RemoveRecycledRun(shard, first, nspans);
+    for (std::uint64_t s = first; s < first + nspans; ++s) {
+      state_[s] = State::kUngranted;  // back inside a provider window
+    }
+    return base;
+  }
+  return kNullAddr;
+}
+
+void SpanDirectory::TransferRange(Addr base, std::uint64_t nspans, int from, int to) {
+  NGX_CHECK(from != to, "span donation to the owning shard itself");
+  const std::uint64_t first = SpanOfAddr(base);
+  NGX_CHECK(first + nspans <= owner_.size(), "donated range exceeds the heap window");
+  for (std::uint64_t s = first; s < first + nspans; ++s) {
+    NGX_CHECK(owner_[s] == from,
+              "span donation from a shard that does not own it (double donation?)");
+    NGX_CHECK(state_[s] != State::kGranted, "cannot donate a span that is still mapped");
+    if (state_[s] == State::kRecycled) {
+      // Donating straight out of the recycled pool.
+      RemoveRecycledRun(from, s, 1);
+      state_[s] = State::kUngranted;
+    }
+    owner_[s] = static_cast<std::int16_t>(to);
+  }
+  free_spans_[static_cast<std::size_t>(from)] -= nspans;
+  free_spans_[static_cast<std::size_t>(to)] += nspans;
+  donated_out_[static_cast<std::size_t>(from)] += nspans;
+  donated_in_[static_cast<std::size_t>(to)] += nspans;
+}
+
+std::uint64_t SpanDirectory::free_spans(int shard) const {
+  return free_spans_[static_cast<std::size_t>(shard)];
+}
+
+std::uint64_t SpanDirectory::donated_out(int shard) const {
+  return donated_out_[static_cast<std::size_t>(shard)];
+}
+
+std::uint64_t SpanDirectory::donated_in(int shard) const {
+  return donated_in_[static_cast<std::size_t>(shard)];
+}
+
+std::uint64_t SpanDirectory::total_donated() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t d : donated_out_) {
+    total += d;
+  }
+  return total;
+}
+
+}  // namespace ngx

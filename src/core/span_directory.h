@@ -1,0 +1,104 @@
+// SpanDirectory: span-granular ownership of the NextGen heap window.
+//
+// The sharded fabric used to resolve address->shard ownership with a pure
+// divide over equal kHeapWindow/num_shards slices, which hard-wires capacity:
+// a skewed size-class mix exhausts one shard's slice while its neighbours sit
+// on free spans. The directory replaces the divide with a dense side table
+// (one owner entry per span) so ownership can MOVE: whole free spans are
+// donated between shards through the fabric's kDonateSpan message, and frees
+// issued mid-donation still land at the current owner because lookup always
+// consults the table.
+//
+// Everything here is host-side bookkeeping, like the routing layer's
+// ShardLoad: it models the directory a real implementation would keep in the
+// allocator cores' private memory, and charges no simulated time. The
+// simulated cost of rebalancing is the kDonateSpan mailbox round trip plus
+// the page mappings it unlocks; lookups on the free path stay free exactly
+// like the old divide did.
+//
+// Span lifecycle per shard:
+//   kUngranted -- in the owner's unconsumed page-provider window
+//   kGranted   -- mapped (or partially covered by a mapping, aggregated
+//                 heaps map non-span-multiple large regions)
+//   kRecycled  -- unmapped again; directly donatable or locally re-grantable
+#ifndef NGX_SRC_CORE_SPAN_DIRECTORY_H_
+#define NGX_SRC_CORE_SPAN_DIRECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace ngx {
+
+class SpanDirectory {
+ public:
+  // Shard s initially owns spans [s*K, (s+1)*K) with K = spans/num_shards.
+  SpanDirectory(Addr heap_base, std::uint64_t window_bytes, std::uint64_t span_bytes,
+                int num_shards);
+
+  int num_shards() const { return num_shards_; }
+  std::uint64_t span_bytes() const { return span_bytes_; }
+  std::uint64_t num_spans() const { return owner_.size(); }
+  Addr heap_base() const { return heap_base_; }
+
+  std::uint64_t SpanOfAddr(Addr addr) const;
+  Addr AddrOfSpan(std::uint64_t span) const { return heap_base_ + span * span_bytes_; }
+  int OwnerOfSpan(std::uint64_t span) const;
+  int OwnerOfAddr(Addr addr) const { return OwnerOfSpan(SpanOfAddr(addr)); }
+
+  // Page-provider observers for shard `shard`'s heap window (metadata
+  // windows are not span-owned and must not be wired here). A mapping may
+  // cover spans partially (aggregated heaps); partially covered spans are
+  // conservatively granted and never recycled until fully unmapped.
+  void NoteMapped(int shard, Addr addr, std::uint64_t bytes);
+  void NoteUnmapped(int shard, Addr addr, std::uint64_t bytes);
+
+  // Carves `nspans` contiguous recycled spans (base aligned to `alignment`)
+  // out of `shard`'s recycled pool; they revert to kUngranted and the caller
+  // grafts them onto a provider window (its own: local reuse; another
+  // shard's after TransferRange: donation). Returns kNullAddr if the pool
+  // has no suitable run.
+  Addr TakeRecycled(int shard, std::uint64_t nspans, std::uint64_t alignment);
+
+  // Moves ownership of `nspans` spans starting at `base` from shard `from`
+  // to shard `to`. Every span must be free (not granted) and owned by
+  // `from`: donating a span that is still mapped -- or donating the same
+  // span twice -- is a fatal bookkeeping error in every build type.
+  void TransferRange(Addr base, std::uint64_t nspans, int from, int to);
+  void TransferSpan(std::uint64_t span, int from, int to) {
+    TransferRange(AddrOfSpan(span), 1, from, to);
+  }
+
+  // Free (ungranted + recycled) spans owned by `shard`: the donor-selection
+  // signal ("least-loaded donor" = most free spans).
+  std::uint64_t free_spans(int shard) const;
+  std::uint64_t donated_out(int shard) const;
+  std::uint64_t donated_in(int shard) const;
+  std::uint64_t total_donated() const;
+
+ private:
+  enum class State : std::uint8_t { kUngranted, kGranted, kRecycled };
+  struct SpanRun {
+    std::uint64_t first;
+    std::uint64_t count;
+  };
+
+  // Removes [first, first+count) from shard's recycled runs (must be fully
+  // recycled there).
+  void RemoveRecycledRun(int shard, std::uint64_t first, std::uint64_t count);
+
+  Addr heap_base_;
+  std::uint64_t span_bytes_;
+  int num_shards_;
+  std::vector<std::int16_t> owner_;  // per span
+  std::vector<State> state_;         // per span
+  std::vector<std::vector<SpanRun>> recycled_;  // per shard, coalesced runs
+  std::vector<std::uint64_t> free_spans_;
+  std::vector<std::uint64_t> donated_out_;
+  std::vector<std::uint64_t> donated_in_;
+};
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_CORE_SPAN_DIRECTORY_H_

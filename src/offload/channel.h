@@ -23,6 +23,7 @@ enum class OffloadOp : std::uint64_t {
   kUsableSize = 3,
   kFlush = 4,
   kMallocBatch = 5,  // arg1 = extra blocks to prefetch into the client stash
+  kDonateSpan = 6,   // shard->shard span request: arg = (nspans << 8) | requester
 };
 
 // Layout of one client's channel block (kChannelStride bytes):
@@ -81,6 +82,18 @@ class Channel {
     const std::uint64_t head = env.Load<std::uint64_t>(base_ + kRingHeadOff);
     env.Store<std::uint64_t>(EntryAddr(head), value);
     env.AtomicStore(base_ + kRingHeadOff, head + 1);
+  }
+
+  // Multi-entry enqueue: n entry stores, ONE release-store of the head (one
+  // doorbell line transfer amortized over the whole batch). Caller must have
+  // checked RingSpace >= n.
+  void RingPushN(Env& env, const std::uint64_t* values, std::uint32_t n) {
+    assert(n > 0 && n <= ring_capacity_);
+    const std::uint64_t head = env.Load<std::uint64_t>(base_ + kRingHeadOff);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      env.Store<std::uint64_t>(EntryAddr(head + i), values[i]);
+    }
+    env.AtomicStore(base_ + kRingHeadOff, head + n);
   }
 
   // ---- server side ----

@@ -21,6 +21,8 @@ const char* OpName(OffloadOp op) {
       return "flush";
     case OffloadOp::kMallocBatch:
       return "malloc_batch";
+    case OffloadOp::kDonateSpan:
+      return "donate_span";
   }
   return "unknown";
 }
@@ -50,7 +52,8 @@ void OffloadEngine::BindInstruments() {
   MetricsRegistry& m = machine_->telemetry().metrics();
   const std::string shard = std::to_string(shard_id_);
   for (const OffloadOp op : {OffloadOp::kMalloc, OffloadOp::kFree, OffloadOp::kUsableSize,
-                             OffloadOp::kFlush, OffloadOp::kMallocBatch}) {
+                             OffloadOp::kFlush, OffloadOp::kMallocBatch,
+                             OffloadOp::kDonateSpan}) {
     h_sync_latency_[static_cast<int>(op)] =
         &m.GetHistogram("offload.sync_latency", {{"shard", shard}, {"op", OpName(op)}});
   }
@@ -143,23 +146,48 @@ void OffloadEngine::AsyncRequest(Env& client_env, OffloadOp op, std::uint64_t ar
     h_ring_occupancy_->Record(ch.ring_capacity() - space);
   }
   if (space == 0) {
-    // Backpressure: the server must drain before the client can continue.
-    ++stats_.ring_full_stalls;
-    if (Recording()) {
-      c_ring_full_->Add();
-      Telemetry& tel = machine_->telemetry();
-      if (tel.tracing()) {
-        tel.tracer().Instant("ring_full", client, client_env.now());
-      }
-    }
-    Core& server = machine_->core(server_core_);
-    server.AdvanceTo(client_env.now());
-    Env server_env = ServerEnv();
-    server_env.Work(poll_work_);
-    DrainRing(server_env, client);
-    machine_->core(client).AdvanceTo(server_env.now());
+    StallOnFullRing(client_env, client);
   }
   ch.RingPush(client_env, arg0);
+  ++stats_.ring_doorbells;
+}
+
+void OffloadEngine::AsyncRequestBatch(Env& client_env, const std::uint64_t* addrs,
+                                      std::uint32_t n) {
+  assert(server_ != nullptr);
+  NGX_CHECK(n > 0 && n <= channels_[0].ring_capacity(),
+            "async batch cannot exceed the ring capacity");
+  const int client = client_env.core_id();
+  Channel& ch = channels_[client];
+  const std::uint64_t space = ch.RingSpace(client_env);
+  if (Recording()) {
+    h_ring_occupancy_->Record(ch.ring_capacity() - space);
+  }
+  if (space < n) {
+    // A stall fully drains this client's ring, so one round always frees
+    // enough slots (n <= capacity).
+    StallOnFullRing(client_env, client);
+  }
+  ch.RingPushN(client_env, addrs, n);
+  ++stats_.ring_doorbells;
+}
+
+void OffloadEngine::StallOnFullRing(Env& client_env, int client) {
+  // Backpressure: the server must drain before the client can continue.
+  ++stats_.ring_full_stalls;
+  if (Recording()) {
+    c_ring_full_->Add();
+    Telemetry& tel = machine_->telemetry();
+    if (tel.tracing()) {
+      tel.tracer().Instant("ring_full", client, client_env.now());
+    }
+  }
+  Core& server = machine_->core(server_core_);
+  server.AdvanceTo(client_env.now());
+  Env server_env = ServerEnv();
+  server_env.Work(poll_work_);
+  DrainRing(server_env, client);
+  machine_->core(client).AdvanceTo(server_env.now());
 }
 
 void OffloadEngine::DrainAll() {

@@ -33,6 +33,9 @@ struct OffloadEngineStats {
   std::uint64_t async_ops = 0;
   std::uint64_t ring_full_stalls = 0;
   std::uint64_t server_busy_waits = 0;  // requests that queued behind the server
+  // Release-stores of a ring head (one per RingPush / per RingPushN batch):
+  // the cache-line transfers batched frees exist to amortize.
+  std::uint64_t ring_doorbells = 0;
 };
 
 class OffloadEngine {
@@ -52,6 +55,10 @@ class OffloadEngine {
   // Fire-and-forget (used for free). Stalls only when the ring is full.
   void AsyncRequest(Env& client_env, OffloadOp op, std::uint64_t arg0);
 
+  // Batched fire-and-forget frees: all entries ride one ring doorbell
+  // (RingPushN). Stalls like AsyncRequest when the ring lacks space.
+  void AsyncRequestBatch(Env& client_env, const std::uint64_t* addrs, std::uint32_t n);
+
   // Processes every pending async entry of every client on the server core.
   void DrainAll();
 
@@ -69,6 +76,9 @@ class OffloadEngine {
  private:
   Env ServerEnv() { return Env(*machine_, server_core_); }
   void DrainRing(Env& server_env, int client);
+  // Ring-full backpressure: runs the server's drain for `client` and syncs
+  // the client clock to it.
+  void StallOnFullRing(Env& client_env, int client);
   // Lazily binds the metric handles (first record after telemetry enable).
   void BindInstruments();
   bool Recording() {

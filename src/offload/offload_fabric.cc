@@ -62,6 +62,17 @@ std::uint64_t OffloadFabric::SyncRequest(Env& client_env, int s, OffloadOp op,
 void OffloadFabric::AsyncRequest(Env& client_env, int s, OffloadOp op, std::uint64_t arg) {
   ++async_enqueued_[static_cast<std::size_t>(s)];
   shard(s).AsyncRequest(client_env, op, arg);
+  RecordQueueDepth(client_env, s);
+}
+
+void OffloadFabric::AsyncRequestBatch(Env& client_env, int s, const std::uint64_t* addrs,
+                                      std::uint32_t n) {
+  async_enqueued_[static_cast<std::size_t>(s)] += n;
+  shard(s).AsyncRequestBatch(client_env, addrs, n);
+  RecordQueueDepth(client_env, s);
+}
+
+void OffloadFabric::RecordQueueDepth(Env& client_env, int s) {
   // Queue depth behind shard s's server, sampled at every enqueue. Purely
   // observational: reads the enqueue/drain counters and the client clock.
   Telemetry& tel = machine_->telemetry();
@@ -94,6 +105,7 @@ OffloadEngineStats OffloadFabric::TotalStats() const {
     total.async_ops += e->stats().async_ops;
     total.ring_full_stalls += e->stats().ring_full_stalls;
     total.server_busy_waits += e->stats().server_busy_waits;
+    total.ring_doorbells += e->stats().ring_doorbells;
   }
   return total;
 }

@@ -60,13 +60,22 @@ class OffloadFabric {
   std::uint64_t SyncRequest(Env& client_env, int s, OffloadOp op, std::uint64_t arg);
   void AsyncRequest(Env& client_env, int s, OffloadOp op, std::uint64_t arg);
 
+  // Batched frees to shard s: all entries share one ring doorbell.
+  void AsyncRequestBatch(Env& client_env, int s, const std::uint64_t* addrs,
+                         std::uint32_t n);
+
   // Drains every client ring of every shard on the shards' server cores.
   void DrainAll();
 
   // Async entries enqueued to shard s and not yet drained (the LeastLoaded
-  // policy's queue-depth signal).
+  // policy's queue-depth signal). Clamped at zero: drains can process entries
+  // this counter never saw (e.g. pushed straight on the engine), and the
+  // unsigned subtraction would otherwise underflow into a huge depth that
+  // permanently repels least_loaded routing from the shard.
   std::uint64_t QueueDepth(int s) const {
-    return async_enqueued_[static_cast<std::size_t>(s)] - shard(s).stats().async_ops;
+    const std::uint64_t enqueued = async_enqueued_[static_cast<std::size_t>(s)];
+    const std::uint64_t drained = shard(s).stats().async_ops;
+    return enqueued > drained ? enqueued - drained : 0;
   }
 
   const OffloadEngineStats& shard_stats(int s) const { return shard(s).stats(); }
@@ -74,6 +83,9 @@ class OffloadFabric {
   OffloadEngineStats TotalStats() const;
 
  private:
+  // Samples QueueDepth(s) into telemetry after an enqueue.
+  void RecordQueueDepth(Env& client_env, int s);
+
   Machine* machine_;
   std::vector<int> server_cores_;
   std::vector<std::unique_ptr<OffloadEngine>> engines_;

@@ -223,8 +223,13 @@ std::uint64_t Machine::AccessLine(int core_id, Addr line, AccessType type) {
   const bool remote_modified = e.owner != -1 && e.owner != core_id;
   if (remote_modified) {
     // Served cache-to-cache from the remote owner (HITM). Counts as an LLC
-    // miss, as perf reports it.
-    lat += config_.remote_transfer_latency;
+    // miss, as perf reports it. Transfers inside one core cluster are
+    // cheaper when the config models clustered interconnects.
+    const bool same_cluster =
+        config_.cluster_cores > 0 && config_.same_cluster_transfer_latency > 0 &&
+        core_id / config_.cluster_cores == e.owner / config_.cluster_cores;
+    lat += same_cluster ? config_.same_cluster_transfer_latency
+                        : config_.remote_transfer_latency;
     if (type == AccessType::kAtomicRmw) {
       lat += config_.atomic_remote_extra;
     }

@@ -27,6 +27,13 @@ struct MachineConfig {
   CacheConfig llc{2 * 1024 * 1024, 16, kCacheLineBytes, ReplacementKind::kLru, 40};
   std::uint64_t mem_latency = 200;             // DRAM access, cycles
   std::uint64_t remote_transfer_latency = 110;  // cache-to-cache (HITM) service
+  // Core-cluster topology: cores [i*k, (i+1)*k) form cluster i. When
+  // same_cluster_transfer_latency is nonzero, HITM service between cores of
+  // one cluster costs that instead of remote_transfer_latency (A72-style
+  // shared-L2 clusters; what cluster-aware shard placement exploits). 0 = no
+  // cluster structure, all transfers cost the remote latency.
+  int cluster_cores = 0;
+  std::uint64_t same_cluster_transfer_latency = 0;
   std::uint64_t invalidate_latency = 25;        // upgrade cost when sharers exist
   std::uint64_t atomic_rmw_latency = 67;        // cited average RMW cost [3]
   std::uint64_t atomic_remote_extra = 150;      // extra when the line is remotely owned

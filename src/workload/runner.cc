@@ -53,6 +53,8 @@ RunResult RunWorkload(Machine& machine, Allocator& alloc, Workload& workload,
           m.HistogramTotal("offload.sync_latency", {{"shard", std::to_string(s)}});
       result.shard_sync_latency.push_back(h.Summary());
     }
+    result.free_flush_occupancy = m.HistogramTotal("ngx.free_flush_occupancy", {}).Summary();
+    result.donated_spans = m.CounterTotal("ngx.donated_spans", {});
   }
   return result;
 }

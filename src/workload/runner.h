@@ -29,6 +29,11 @@ struct RunResult {
   // RunOptions::server_cores), aggregated over ops. Populated only when the
   // machine's telemetry was enabled; units are simulated cycles.
   std::vector<HistogramSummary> shard_sync_latency;
+  // Elastic-fabric digests (telemetry-enabled runs only, like
+  // shard_sync_latency): entries per batched remote-free flush, and the
+  // total spans donated between shards.
+  HistogramSummary free_flush_occupancy;
+  std::uint64_t donated_spans = 0;
 
   // Fraction of application-core cycles spent inside allocator code.
   double MallocTimeShare() const { return app.AllocCycleShare(); }
