@@ -73,6 +73,16 @@ struct NgxConfig {
   // donor with the most free spans via OffloadOp::kDonateSpan (needs
   // offload and num_shards > 1 to do anything).
   bool span_donation = false;
+  // Proactive watermark rebalancing (DESIGN.md §8): each shard checks its
+  // free-span count during drain idle time. Below span_low_mark it pulls a
+  // refill from the best-stocked donor (OffloadOp::kRequestSpans); above
+  // span_high_mark it first returns fully-recycled away spans to their home
+  // shard (kReturnSpan) and otherwise offers surplus to a shard sitting
+  // below its low mark (kOfferSpans). 0 = disabled (donation stays purely
+  // reactive and the sim is bit-identical to span_low_mark-less builds).
+  // Requires span_donation; span_high_mark must exceed span_low_mark.
+  std::uint64_t span_low_mark = 0;
+  std::uint64_t span_high_mark = 0;
   // Server-core placement policy used by MakeNgxSystem's placed overload.
   PlacementKind placement = PlacementKind::kContiguous;
   // Total heap window carved into shard slices. 0 = the full kHeapWindow;

@@ -52,6 +52,11 @@ NgxAllocator::NgxAllocator(Machine& machine, OffloadFabric* fabric, const NgxCon
   donation_ = config.span_donation && fabric != nullptr && nshards > 1;
   NGX_CHECK(!donation_ || nshards <= 256,
             "kDonateSpan packs the requester shard into 8 bits");
+  NGX_CHECK(config.span_low_mark == 0 || config.span_donation,
+            "watermark rebalancing (span_low_mark) requires span_donation");
+  NGX_CHECK(config.span_low_mark == 0 || config.span_high_mark > config.span_low_mark,
+            "span_high_mark must exceed span_low_mark");
+  rebalance_ = donation_ && config.span_low_mark > 0;
   heaps_.reserve(static_cast<std::size_t>(nshards));
   shard_servers_.reserve(static_cast<std::size_t>(nshards));
   for (int s = 0; s < nshards; ++s) {
@@ -88,6 +93,23 @@ NgxAllocator::NgxAllocator(Machine& machine, OffloadFabric* fabric, const NgxCon
         machine, freebuf_stride_ * static_cast<std::uint64_t>(machine.num_cores()),
         PageKind::kSmall4K);
   }
+  if (rebalance_) {
+    // Two tick paths into the same guard: the engines' post-drain hooks
+    // cover busy shards (every sync request and DrainAll ends in a tick),
+    // and machine idle hooks cover quiet shards whose cores lag the running
+    // thread -- a shard with no traffic can still pull refills, shed
+    // surplus, and send recycled spans home. Neither is installed when
+    // rebalancing is off, so span_low_mark = 0 stays bit-identical.
+    for (int s = 0; s < nshards; ++s) {
+      fabric->set_post_drain_hook(
+          s, [this, s](Env& server_env) { WatermarkTick(server_env, s); });
+      const int core = fabric->server_cores()[static_cast<std::size_t>(s)];
+      idle_hook_ids_.push_back(machine.AddIdleHook(core, [this, s, core] {
+        Env env(*machine_, core);
+        WatermarkTick(env, s);
+      }));
+    }
+  }
   if (config.prediction) {
     predictor_.emplace(machine.num_cores(), classes_.num_classes(), config.max_predict_batch);
     stash_slot_ = AlignUp(IndexStack::FootprintBytes(config.stash_capacity), 64);
@@ -96,6 +118,17 @@ NgxAllocator::NgxAllocator(Machine& machine, OffloadFabric* fabric, const NgxCon
         kNgxMetaBase + kHeapWindow, kHeapWindow, "ngx-stash");
     stash_base_ = stash_provider_->MapAtStartup(
         machine, stash_stride_ * machine.num_cores(), PageKind::kSmall4K);
+  }
+}
+
+NgxAllocator::~NgxAllocator() {
+  for (const int id : idle_hook_ids_) {
+    machine_->RemoveIdleHook(id);
+  }
+  if (rebalance_ && fabric_ != nullptr) {
+    for (int s = 0; s < num_shards(); ++s) {
+      fabric_->set_post_drain_hook(s, nullptr);
+    }
   }
 }
 
@@ -122,6 +155,10 @@ void NgxAllocator::BindInstruments() {
   c_free_unknown_ = &m.GetCounter("ngx.frees", {{"alloc", "nextgen"}, {"locality", "unknown"}});
   h_flush_occupancy_ = &m.GetHistogram("ngx.free_flush_occupancy", {{"alloc", "nextgen"}});
   c_donated_spans_ = &m.GetCounter("ngx.donated_spans", {{"alloc", "nextgen"}});
+  c_rebalance_moves_ = &m.GetCounter("ngx.rebalance_moves", {{"alloc", "nextgen"}});
+  c_returned_spans_ = &m.GetCounter("ngx.returned_spans", {{"alloc", "nextgen"}});
+  c_inline_fallbacks_ =
+      &m.GetCounter("ngx.inline_donation_fallbacks", {{"alloc", "nextgen"}});
   instruments_bound_ = true;
 }
 
@@ -338,7 +375,13 @@ std::uint64_t NgxAllocator::HandleShardRequest(Env& server_env, int shard, int c
     case OffloadOp::kFlush:
       return 0;
     case OffloadOp::kDonateSpan:
+    case OffloadOp::kRequestSpans:
+      // Same donor-side carve whether the pull is a malloc-path fallback or
+      // the rebalancer staying ahead of its low mark.
       return HandleDonateSpan(server_env, shard, arg);
+    case OffloadOp::kOfferSpans:
+    case OffloadOp::kReturnSpan:
+      return HandleSpanGraft(server_env, shard, arg);
   }
   return 0;
 }
@@ -376,6 +419,13 @@ int NgxAllocator::PickDonor(const std::vector<bool>& excluded) const {
 }
 
 Addr NgxAllocator::MallocWithDonation(Env& server_env, int shard, std::uint64_t size) {
+  // Reaching this point means a malloc already failed and is paying the
+  // refill round trip inline -- exactly what watermark rebalancing exists to
+  // make rare.
+  ++inline_fallbacks_;
+  if (Recording()) {
+    c_inline_fallbacks_->Add();
+  }
   const std::uint64_t need = NeededGrantSpans(size);
   NGX_CHECK(need < (1ull << 16), "span grant too large for the donation protocol");
   std::vector<bool> excluded(heaps_.size(), false);
@@ -426,6 +476,11 @@ std::uint64_t NgxAllocator::HandleDonateSpan(Env& server_env, int donor, std::ui
   const std::uint64_t want = arg >> 8;
   NGX_CHECK(requester >= 0 && requester < num_shards() && requester != donor,
             "malformed donation request");
+  return CarveSpans(server_env, donor, requester, want);
+}
+
+std::uint64_t NgxAllocator::CarveSpans(Env& server_env, int donor, int to,
+                                       std::uint64_t want) {
   // Donor-side bookkeeping: recycled-pool scan plus directory update.
   server_env.Work(12);
   PageProvider& provider = heaps_[static_cast<std::size_t>(donor)]->span_provider();
@@ -442,7 +497,7 @@ std::uint64_t NgxAllocator::HandleDonateSpan(Env& server_env, int donor, std::ui
     if (base == kNullAddr) {
       continue;
     }
-    directory_->TransferRange(base, n, donor, requester);
+    directory_->TransferRange(base, n, donor, to);
     if (Recording()) {
       c_donated_spans_->Add(n);
       Telemetry& tel = machine_->telemetry();
@@ -454,6 +509,179 @@ std::uint64_t NgxAllocator::HandleDonateSpan(Env& server_env, int donor, std::ui
     return base | n;
   }
   return 0;
+}
+
+std::uint64_t NgxAllocator::HandleSpanGraft(Env& server_env, int shard, std::uint64_t arg) {
+  const Addr base = arg & ~static_cast<std::uint64_t>(0xffff);
+  const std::uint64_t n = arg & 0xffff;
+  NGX_CHECK(n > 0 && directory_ != nullptr, "malformed span graft");
+  NGX_CHECK(directory_->OwnerOfAddr(base) == shard,
+            "span graft for a range the shard does not own");
+  // The sender already moved directory ownership; the recipient only grafts
+  // the range onto its provider window.
+  server_env.Work(6);
+  heaps_[static_cast<std::size_t>(shard)]->span_provider().AddRange(base, n * span_bytes_);
+  return 1;
+}
+
+void NgxAllocator::WatermarkTick(Env& server_env, int shard) {
+  // Ticks fire from drain hooks, and a tick's own fabric messages trigger
+  // the recipient's drain hook: the allocator-wide guard keeps exactly one
+  // tick in flight (and makes the recursion depth bounded by construction).
+  if (in_rebalance_) {
+    return;
+  }
+  in_rebalance_ = true;
+  const std::uint64_t low = config_.span_low_mark;
+  const std::uint64_t high = config_.span_high_mark;
+  // A few moves per tick keep any pending request's queue wait bounded;
+  // steady drain traffic supplies plenty of ticks.
+  for (int moves = 0; moves < 4; ++moves) {
+    const std::uint64_t free = directory_->free_spans(shard);
+    bool acted = false;
+    if (free < low) {
+      // Staying ahead of partition exhaustion beats everything else.
+      acted = TryRefill(server_env, shard, free);
+    } else if (free > high) {
+      // Recycled away spans flow home first; native surplus is offered to
+      // peers below their low mark.
+      acted = TryReturnHome(server_env, shard);
+      if (!acted) {
+        acted = TryOfferSurplus(server_env, shard, free);
+      }
+    }
+    if (!acted) {
+      // No fabric traffic warranted: keep the shard's own provider stocked
+      // from its recycled pool so steady-state span reuse stays off the
+      // malloc path too.
+      acted = TryRestockLocal(server_env, shard);
+    }
+    if (!acted) {
+      break;
+    }
+    ++rebalance_moves_;
+    if (Recording()) {
+      c_rebalance_moves_->Add();
+    }
+  }
+  in_rebalance_ = false;
+}
+
+bool NgxAllocator::TryRestockLocal(Env& server_env, int shard) {
+  // Once the virgin provider window is consumed, every span grant would
+  // otherwise fail first and pay the inline fallback's TakeRecycled detour
+  // on the malloc path. Grafting recycled spans back during idle time keeps
+  // the provider's unconsumed tail at one grant unit above the low mark.
+  PageProvider& provider = heaps_[static_cast<std::size_t>(shard)]->span_provider();
+  const std::uint64_t target = (config_.span_low_mark + grant_unit_spans_) * span_bytes_;
+  if (provider.FreeBytes() >= target) {
+    return false;
+  }
+  const Addr base = directory_->TakeRecycled(shard, grant_unit_spans_, grant_align_);
+  if (base == kNullAddr) {
+    return false;  // nothing contiguous recycled; refill handles true scarcity
+  }
+  server_env.Work(4);
+  provider.AddRange(base, grant_unit_spans_ * span_bytes_);
+  return true;
+}
+
+bool NgxAllocator::TryRefill(Env& server_env, int shard, std::uint64_t free) {
+  const std::uint64_t low = config_.span_low_mark;
+  // Refill to one grant unit above the low mark so the next few grants do
+  // not immediately re-trigger the pull.
+  const std::uint64_t want = AlignUp(low + grant_unit_spans_ - free, grant_unit_spans_);
+  NGX_CHECK(want < (1ull << 16), "span refill too large for the donation protocol");
+  std::vector<bool> excluded(heaps_.size(), false);
+  excluded[static_cast<std::size_t>(shard)] = true;
+  const int donor = PickDonor(excluded);
+  // Anti-ping-pong: a donation must not push the donor below its own low
+  // mark, or the refill would bounce straight back next tick.
+  if (donor < 0 || directory_->free_spans(donor) < low + want) {
+    return false;
+  }
+  const std::uint64_t arg =
+      (want << 8) | static_cast<std::uint64_t>(static_cast<unsigned>(shard));
+  const std::uint64_t resp =
+      fabric_->SyncRequest(server_env, donor, OffloadOp::kRequestSpans, arg);
+  if (resp == 0) {
+    return false;
+  }
+  const Addr base = resp & ~static_cast<std::uint64_t>(0xffff);
+  const std::uint64_t got = resp & 0xffff;
+  heaps_[static_cast<std::size_t>(shard)]->span_provider().AddRange(base,
+                                                                    got * span_bytes_);
+  return true;
+}
+
+bool NgxAllocator::TryReturnHome(Env& server_env, int shard) {
+  if (directory_->away_spans(shard) == 0) {
+    return false;
+  }
+  const std::uint64_t free = directory_->free_spans(shard);
+  const std::uint64_t low = config_.span_low_mark;
+  if (free <= low) {
+    return false;
+  }
+  // Never return so much that the shard drops below its own low mark, and
+  // keep the count inside the wire format's 16 bits.
+  std::uint64_t max_units = (free - low) / grant_unit_spans_;
+  max_units = std::min<std::uint64_t>(max_units, ((1ull << 16) - 1) / grant_unit_spans_);
+  if (max_units == 0) {
+    return false;
+  }
+  int home = -1;
+  std::uint64_t n = 0;
+  const Addr base = directory_->FindRecycledAwayRun(shard, grant_unit_spans_, max_units,
+                                                    grant_align_, &home, &n);
+  if (base == kNullAddr) {
+    return false;
+  }
+  directory_->ReturnRange(base, n, shard);
+  fabric_->SyncRequest(server_env, home, OffloadOp::kReturnSpan, base | n);
+  if (Recording()) {
+    c_returned_spans_->Add(n);
+    Telemetry& tel = machine_->telemetry();
+    if (tel.tracing()) {
+      tel.tracer().Instant("return_span", server_env.core_id(), server_env.now());
+    }
+  }
+  return true;
+}
+
+bool NgxAllocator::TryOfferSurplus(Env& server_env, int shard, std::uint64_t free) {
+  const std::uint64_t low = config_.span_low_mark;
+  const std::uint64_t high = config_.span_high_mark;
+  // Push only when a peer is actually short: the lowest free count below
+  // the low mark, ties to the lower shard id (deterministic).
+  int needy = -1;
+  std::uint64_t needy_free = ~0ull;
+  for (int s = 0; s < num_shards(); ++s) {
+    if (s == shard) {
+      continue;
+    }
+    const std::uint64_t f = directory_->free_spans(s);
+    if (f < low && f < needy_free) {
+      needy_free = f;
+      needy = s;
+    }
+  }
+  if (needy < 0) {
+    return false;
+  }
+  const std::uint64_t want =
+      AlignUp(low + grant_unit_spans_ - needy_free, grant_unit_spans_);
+  const std::uint64_t surplus = (free - high) / grant_unit_spans_ * grant_unit_spans_;
+  const std::uint64_t n = std::min(want, surplus);
+  if (n == 0) {
+    return false;
+  }
+  const std::uint64_t carved = CarveSpans(server_env, shard, needy, n);
+  if (carved == 0) {
+    return false;
+  }
+  fabric_->SyncRequest(server_env, needy, OffloadOp::kOfferSpans, carved);
+  return true;
 }
 
 AllocatorStats NgxAllocator::stats() const {

@@ -18,6 +18,12 @@
 //    start as equal slices of the NextGen heap window and rebalance at span
 //    granularity: a dry shard requests free spans from the best-stocked
 //    donor over the fabric's kDonateSpan message (config.span_donation).
+//    With config.span_low_mark set, a background watermark rebalancer runs
+//    in each shard's drain idle window (post-drain hooks plus machine idle
+//    hooks): shards below the low mark pull refills (kRequestSpans), shards
+//    above the high mark return fully-recycled away spans to their home
+//    slice (kReturnSpan) and offer surplus to starved peers (kOfferSpans),
+//    so inline kDonateSpan on the malloc path becomes the rare fallback.
 //    With config.free_batch > 1, remote frees accumulate in per-(client,
 //    shard) buffers and flush free_batch entries per ring doorbell.
 //
@@ -49,6 +55,9 @@ class NgxAllocator : public Allocator {
   // `fabric` may be nullptr iff config.offload is false. Every fabric shard's
   // server is bound to this allocator's matching heap partition.
   NgxAllocator(Machine& machine, OffloadFabric* fabric, const NgxConfig& config);
+  // Unregisters the watermark rebalancer's machine/fabric hooks (the machine
+  // and fabric may outlive the allocator).
+  ~NgxAllocator() override;
 
   // ---- Allocator ----
   std::string_view name() const override { return "nextgen"; }
@@ -86,6 +95,13 @@ class NgxAllocator : public Allocator {
   // Remote frees buffered and later flushed in a batch (0 with free_batch=1).
   std::uint64_t buffered_frees() const { return buffered_frees_; }
   std::uint64_t free_flushes() const { return free_flushes_; }
+  // Watermark rebalancing (config.span_low_mark > 0): background transfers
+  // performed (refills + offers + returns), and mallocs that still entered
+  // the inline donation fallback because a request arrived before the
+  // rebalancer could refill the partition.
+  bool rebalancing() const { return rebalance_; }
+  std::uint64_t rebalance_moves() const { return rebalance_moves_; }
+  std::uint64_t inline_donation_fallbacks() const { return inline_fallbacks_; }
 
  private:
   // Binds one fabric shard's OffloadServer callback to (allocator, shard).
@@ -129,12 +145,28 @@ class NgxAllocator : public Allocator {
   // Requester side (runs on shard's server core): refill the partition from
   // the shard's own recycled pool or a donor and retry the malloc.
   Addr MallocWithDonation(Env& server_env, int shard, std::uint64_t size);
-  // Donor side of OffloadOp::kDonateSpan; returns base|nspans, 0 = nothing
-  // to give.
+  // Donor side of OffloadOp::kDonateSpan/kRequestSpans; returns base|nspans,
+  // 0 = nothing to give.
   std::uint64_t HandleDonateSpan(Env& server_env, int donor, std::uint64_t arg);
+  // Carves up to `want` spans (falling back to one grant unit) from `donor`'s
+  // recycled pool or provider tail and transfers ownership to `to`. Returns
+  // base|nspans, 0 if the donor cannot spare even one unit.
+  std::uint64_t CarveSpans(Env& server_env, int donor, int to, std::uint64_t want);
+  // Recipient side of kOfferSpans/kReturnSpan: ownership already moved by
+  // the sender, graft the range onto this shard's provider window.
+  std::uint64_t HandleSpanGraft(Env& server_env, int shard, std::uint64_t arg);
   // Shard with the most free spans, excluding entries of `excluded`; -1 if
   // none has any.
   int PickDonor(const std::vector<bool>& excluded) const;
+
+  // Watermark rebalancer (DESIGN.md §8): runs on shard's server core in its
+  // drain idle window. At most a few moves per tick; reentrancy-guarded so a
+  // tick's own fabric messages cannot recurse into another tick.
+  void WatermarkTick(Env& server_env, int shard);
+  bool TryRefill(Env& server_env, int shard, std::uint64_t free);
+  bool TryReturnHome(Env& server_env, int shard);
+  bool TryOfferSurplus(Env& server_env, int shard, std::uint64_t free);
+  bool TryRestockLocal(Env& server_env, int shard);
 
   // Lazily binds metric handles; returns whether telemetry is recording.
   bool Recording();
@@ -156,10 +188,15 @@ class NgxAllocator : public Allocator {
   std::uint64_t shard_window_ = 0;  // bytes of heap window per shard (initial slice)
   std::unique_ptr<SpanDirectory> directory_;  // span->shard owner (num_shards > 1)
   bool donation_ = false;            // kDonateSpan rebalancing active
+  bool rebalance_ = false;           // watermark protocol active
+  bool in_rebalance_ = false;        // tick reentrancy guard (allocator-wide)
   std::uint64_t span_bytes_ = 0;
   std::uint64_t grant_unit_spans_ = 0;  // spans per smallest donatable grant
   std::uint64_t grant_align_ = 0;       // base alignment donated ranges need
   std::uint64_t partition_ooms_ = 0;
+  std::uint64_t rebalance_moves_ = 0;
+  std::uint64_t inline_fallbacks_ = 0;
+  std::vector<int> idle_hook_ids_;   // machine idle hooks to remove at teardown
   OffloadFabric* fabric_;
   std::optional<AllocationPredictor> predictor_;
   std::unique_ptr<PageProvider> stash_provider_;
@@ -186,6 +223,9 @@ class NgxAllocator : public Allocator {
   Counter* c_free_unknown_ = nullptr;
   Histogram* h_flush_occupancy_ = nullptr;  // entries per remote-free flush
   Counter* c_donated_spans_ = nullptr;
+  Counter* c_rebalance_moves_ = nullptr;
+  Counter* c_returned_spans_ = nullptr;
+  Counter* c_inline_fallbacks_ = nullptr;
   std::unordered_map<Addr, int> alloc_core_;  // live block -> obtaining core
 };
 

@@ -19,10 +19,15 @@ SpanDirectory::SpanDirectory(Addr heap_base, std::uint64_t window_bytes,
   for (std::uint64_t s = 0; s < nspans; ++s) {
     owner_[s] = static_cast<std::int16_t>(s / per_shard);
   }
+  home_ = owner_;
   recycled_.resize(static_cast<std::size_t>(num_shards));
+  take_cursor_.assign(static_cast<std::size_t>(num_shards), 0);
   free_spans_.assign(static_cast<std::size_t>(num_shards), per_shard);
+  away_spans_.assign(static_cast<std::size_t>(num_shards), 0);
   donated_out_.assign(static_cast<std::size_t>(num_shards), 0);
   donated_in_.assign(static_cast<std::size_t>(num_shards), 0);
+  returned_out_.assign(static_cast<std::size_t>(num_shards), 0);
+  returned_in_.assign(static_cast<std::size_t>(num_shards), 0);
 }
 
 std::uint64_t SpanDirectory::SpanOfAddr(Addr addr) const {
@@ -34,6 +39,16 @@ std::uint64_t SpanDirectory::SpanOfAddr(Addr addr) const {
 int SpanDirectory::OwnerOfSpan(std::uint64_t span) const {
   NGX_CHECK(span < owner_.size(), "span index outside the heap window");
   return owner_[span];
+}
+
+int SpanDirectory::HomeOfSpan(std::uint64_t span) const {
+  NGX_CHECK(span < home_.size(), "span index outside the heap window");
+  return home_[span];
+}
+
+SpanDirectory::SpanState SpanDirectory::StateOfSpan(std::uint64_t span) const {
+  NGX_CHECK(span < state_.size(), "span index outside the heap window");
+  return state_[span];
 }
 
 void SpanDirectory::NoteMapped(int shard, Addr addr, std::uint64_t bytes) {
@@ -73,25 +88,34 @@ void SpanDirectory::NoteUnmapped(int shard, Addr addr, std::uint64_t bytes) {
   }
 }
 
+void SpanDirectory::RemoveRecycledRunAt(int shard, std::size_t index, std::uint64_t first,
+                                        std::uint64_t count) {
+  std::vector<SpanRun>& runs = recycled_[static_cast<std::size_t>(shard)];
+  SpanRun& r = runs[index];
+  NGX_CHECK(first >= r.first && first + count <= r.first + r.count,
+            "span run not found in the recycled pool");
+  const SpanRun before{r.first, first - r.first};
+  const SpanRun after{first + count, r.first + r.count - (first + count)};
+  if (before.count == 0 && after.count == 0) {
+    runs.erase(runs.begin() + static_cast<std::ptrdiff_t>(index));
+  } else if (before.count == 0) {
+    r = after;
+  } else if (after.count == 0) {
+    r = before;
+  } else {
+    r = before;
+    runs.insert(runs.begin() + static_cast<std::ptrdiff_t>(index) + 1, after);
+  }
+}
+
 void SpanDirectory::RemoveRecycledRun(int shard, std::uint64_t first, std::uint64_t count) {
   std::vector<SpanRun>& runs = recycled_[static_cast<std::size_t>(shard)];
   for (std::size_t i = 0; i < runs.size(); ++i) {
-    SpanRun& r = runs[i];
+    const SpanRun& r = runs[i];
     if (first < r.first || first + count > r.first + r.count) {
       continue;
     }
-    const SpanRun before{r.first, first - r.first};
-    const SpanRun after{first + count, r.first + r.count - (first + count)};
-    if (before.count == 0 && after.count == 0) {
-      runs.erase(runs.begin() + static_cast<std::ptrdiff_t>(i));
-    } else if (before.count == 0) {
-      r = after;
-    } else if (after.count == 0) {
-      r = before;
-    } else {
-      r = before;
-      runs.insert(runs.begin() + static_cast<std::ptrdiff_t>(i) + 1, after);
-    }
+    RemoveRecycledRunAt(shard, i, first, count);
     return;
   }
   NGX_CHECK(false, "span run not found in the recycled pool");
@@ -102,13 +126,29 @@ Addr SpanDirectory::TakeRecycled(int shard, std::uint64_t nspans, std::uint64_t 
   NGX_CHECK(alignment > 0 && (alignment & (alignment - 1)) == 0,
             "take alignment must be a power of two");
   const std::vector<SpanRun>& runs = recycled_[static_cast<std::size_t>(shard)];
-  for (const SpanRun& r : runs) {
+  const std::size_t nruns = runs.size();
+  if (nruns == 0) {
+    return kNullAddr;
+  }
+  // Next-fit: resume where the last take left off. Refill streams consume
+  // the pool roughly in address order, so restarting from run 0 would
+  // rescan every already-rejected (too small / misaligned) run per request
+  // and go quadratic on a fragmented directory.
+  std::size_t& cursor = take_cursor_[static_cast<std::size_t>(shard)];
+  if (cursor >= nruns) {
+    cursor = 0;  // runs shrank since the last take; any valid start works
+  }
+  for (std::size_t k = 0; k < nruns; ++k) {
+    const std::size_t i = cursor + k < nruns ? cursor + k : cursor + k - nruns;
+    ++take_scan_steps_;
+    const SpanRun& r = runs[i];
     const Addr base = AlignUp(AddrOfSpan(r.first), alignment);
     const std::uint64_t first = (base - heap_base_) / span_bytes_;
     if (first + nspans > r.first + r.count) {
       continue;
     }
-    RemoveRecycledRun(shard, first, nspans);
+    cursor = i;
+    RemoveRecycledRunAt(shard, i, first, nspans);
     for (std::uint64_t s = first; s < first + nspans; ++s) {
       state_[s] = State::kUngranted;  // back inside a provider window
     }
@@ -117,25 +157,105 @@ Addr SpanDirectory::TakeRecycled(int shard, std::uint64_t nspans, std::uint64_t 
   return kNullAddr;
 }
 
-void SpanDirectory::TransferRange(Addr base, std::uint64_t nspans, int from, int to) {
-  NGX_CHECK(from != to, "span donation to the owning shard itself");
-  const std::uint64_t first = SpanOfAddr(base);
-  NGX_CHECK(first + nspans <= owner_.size(), "donated range exceeds the heap window");
-  for (std::uint64_t s = first; s < first + nspans; ++s) {
+void SpanDirectory::MoveFreeRun(std::uint64_t first, std::uint64_t count, int from, int to) {
+  NGX_CHECK(first + count <= owner_.size(), "span range exceeds the heap window");
+  for (std::uint64_t s = first; s < first + count; ++s) {
     NGX_CHECK(owner_[s] == from,
               "span donation from a shard that does not own it (double donation?)");
     NGX_CHECK(state_[s] != State::kGranted, "cannot donate a span that is still mapped");
     if (state_[s] == State::kRecycled) {
-      // Donating straight out of the recycled pool.
+      // Moving straight out of the recycled pool.
       RemoveRecycledRun(from, s, 1);
       state_[s] = State::kUngranted;
     }
     owner_[s] = static_cast<std::int16_t>(to);
+    if (home_[s] != from) {
+      --away_spans_[static_cast<std::size_t>(from)];
+    }
+    if (home_[s] != to) {
+      ++away_spans_[static_cast<std::size_t>(to)];
+    }
   }
-  free_spans_[static_cast<std::size_t>(from)] -= nspans;
-  free_spans_[static_cast<std::size_t>(to)] += nspans;
+  free_spans_[static_cast<std::size_t>(from)] -= count;
+  free_spans_[static_cast<std::size_t>(to)] += count;
+}
+
+void SpanDirectory::TransferRange(Addr base, std::uint64_t nspans, int from, int to) {
+  NGX_CHECK(from != to, "span donation to the owning shard itself");
+  MoveFreeRun(SpanOfAddr(base), nspans, from, to);
   donated_out_[static_cast<std::size_t>(from)] += nspans;
   donated_in_[static_cast<std::size_t>(to)] += nspans;
+}
+
+int SpanDirectory::ReturnRange(Addr base, std::uint64_t nspans, int from) {
+  NGX_CHECK(nspans > 0, "cannot return zero spans");
+  const std::uint64_t first = SpanOfAddr(base);
+  NGX_CHECK(first + nspans <= owner_.size(), "returned range exceeds the heap window");
+  const int home = home_[first];
+  NGX_CHECK(home != from, "span is already home (double return?)");
+  for (std::uint64_t s = first; s < first + nspans; ++s) {
+    NGX_CHECK(owner_[s] == from,
+              "span return from a shard that does not own it (double return?)");
+    NGX_CHECK(home_[s] == home, "a returned run must share one home shard");
+    NGX_CHECK(state_[s] == State::kRecycled,
+              "only fully-recycled spans can be returned home");
+  }
+  MoveFreeRun(first, nspans, from, home);
+  returned_out_[static_cast<std::size_t>(from)] += nspans;
+  returned_in_[static_cast<std::size_t>(home)] += nspans;
+  return home;
+}
+
+Addr SpanDirectory::FindRecycledAwayRun(int shard, std::uint64_t unit_spans,
+                                        std::uint64_t max_units, std::uint64_t alignment,
+                                        int* home, std::uint64_t* nspans) const {
+  NGX_CHECK(unit_spans > 0 && max_units > 0, "return unit sizing must be positive");
+  NGX_CHECK(alignment > 0 && (alignment & (alignment - 1)) == 0,
+            "return alignment must be a power of two");
+  // Stepping by whole units preserves alignment: unit_spans * span_bytes is
+  // a multiple of the grant alignment by construction (both round the span
+  // size up to the backing page).
+  for (const SpanRun& r : recycled_[static_cast<std::size_t>(shard)]) {
+    const Addr abase = AlignUp(AddrOfSpan(r.first), alignment);
+    std::uint64_t first = (abase - heap_base_) / span_bytes_;
+    const std::uint64_t end = r.first + r.count;
+    for (; first + unit_spans <= end; first += unit_spans) {
+      // A returnable unit must be wholly owned by one foreign home.
+      const int h = home_[first];
+      if (h == shard) {
+        continue;
+      }
+      bool uniform = true;
+      for (std::uint64_t s = first + 1; s < first + unit_spans; ++s) {
+        if (home_[s] != h) {
+          uniform = false;
+          break;
+        }
+      }
+      if (!uniform) {
+        continue;
+      }
+      // Extend over consecutive same-home units inside the run.
+      std::uint64_t n = unit_spans;
+      while (n / unit_spans < max_units && first + n + unit_spans <= end) {
+        bool extend = true;
+        for (std::uint64_t s = first + n; s < first + n + unit_spans; ++s) {
+          if (home_[s] != h) {
+            extend = false;
+            break;
+          }
+        }
+        if (!extend) {
+          break;
+        }
+        n += unit_spans;
+      }
+      *home = h;
+      *nspans = n;
+      return AddrOfSpan(first);
+    }
+  }
+  return kNullAddr;
 }
 
 std::uint64_t SpanDirectory::free_spans(int shard) const {
@@ -156,6 +276,26 @@ std::uint64_t SpanDirectory::total_donated() const {
     total += d;
   }
   return total;
+}
+
+std::uint64_t SpanDirectory::returned_out(int shard) const {
+  return returned_out_[static_cast<std::size_t>(shard)];
+}
+
+std::uint64_t SpanDirectory::returned_in(int shard) const {
+  return returned_in_[static_cast<std::size_t>(shard)];
+}
+
+std::uint64_t SpanDirectory::total_returned() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t r : returned_out_) {
+    total += r;
+  }
+  return total;
+}
+
+std::uint64_t SpanDirectory::away_spans(int shard) const {
+  return away_spans_[static_cast<std::size_t>(shard)];
 }
 
 }  // namespace ngx

@@ -21,6 +21,12 @@
 //   kGranted   -- mapped (or partially covered by a mapping, aggregated
 //                 heaps map non-span-multiple large regions)
 //   kRecycled  -- unmapped again; directly donatable or locally re-grantable
+//
+// Besides the current owner, every span remembers its HOME shard (the shard
+// whose initial slice contained it). Donation moves ownership away from home;
+// the return protocol (ReturnRange, fed by FindRecycledAwayRun) moves fully
+// recycled spans back, so a burst tenant does not capture its peak footprint
+// forever. See DESIGN.md §8.
 #ifndef NGX_SRC_CORE_SPAN_DIRECTORY_H_
 #define NGX_SRC_CORE_SPAN_DIRECTORY_H_
 
@@ -33,6 +39,13 @@ namespace ngx {
 
 class SpanDirectory {
  public:
+  // Span state, exposed for diagnostics and the lifecycle stress auditor.
+  enum class SpanState : std::uint8_t { kUngranted, kGranted, kRecycled };
+  struct SpanRun {
+    std::uint64_t first;
+    std::uint64_t count;
+  };
+
   // Shard s initially owns spans [s*K, (s+1)*K) with K = spans/num_shards.
   SpanDirectory(Addr heap_base, std::uint64_t window_bytes, std::uint64_t span_bytes,
                 int num_shards);
@@ -46,6 +59,9 @@ class SpanDirectory {
   Addr AddrOfSpan(std::uint64_t span) const { return heap_base_ + span * span_bytes_; }
   int OwnerOfSpan(std::uint64_t span) const;
   int OwnerOfAddr(Addr addr) const { return OwnerOfSpan(SpanOfAddr(addr)); }
+  // The shard whose initial slice contained the span (never changes).
+  int HomeOfSpan(std::uint64_t span) const;
+  SpanState StateOfSpan(std::uint64_t span) const;
 
   // Page-provider observers for shard `shard`'s heap window (metadata
   // windows are not span-owned and must not be wired here). A mapping may
@@ -58,7 +74,9 @@ class SpanDirectory {
   // out of `shard`'s recycled pool; they revert to kUngranted and the caller
   // grafts them onto a provider window (its own: local reuse; another
   // shard's after TransferRange: donation). Returns kNullAddr if the pool
-  // has no suitable run.
+  // has no suitable run. The scan resumes from a per-shard next-fit cursor
+  // so repeated refills on a fragmented directory stay amortized-linear
+  // instead of rescanning every unsatisfiable run per request.
   Addr TakeRecycled(int shard, std::uint64_t nspans, std::uint64_t alignment);
 
   // Moves ownership of `nspans` spans starting at `base` from shard `from`
@@ -70,33 +88,77 @@ class SpanDirectory {
     TransferRange(AddrOfSpan(span), 1, from, to);
   }
 
+  // Return protocol: moves `nspans` spans starting at `base` from the holder
+  // `from` back to their (shared) home shard and returns that home. Only
+  // fully-recycled away spans may flow back -- an ungranted away span still
+  // sits inside the holder's provider window and a granted one is mapped;
+  // returning either would double-account address space. Returning a span
+  // the holder does not own, or one that is already home, is a fatal
+  // bookkeeping error in every build type (double return).
+  int ReturnRange(Addr base, std::uint64_t nspans, int from);
+
+  // Finds a recycled run owned by `shard` whose spans share one home shard
+  // != `shard`, sized in whole `unit_spans` multiples (base aligned to
+  // `alignment`, at most `max_units` units). Returns kNullAddr if the shard
+  // holds no returnable away spans; otherwise *home and *nspans describe the
+  // run for ReturnRange.
+  Addr FindRecycledAwayRun(int shard, std::uint64_t unit_spans, std::uint64_t max_units,
+                           std::uint64_t alignment, int* home,
+                           std::uint64_t* nspans) const;
+
   // Free (ungranted + recycled) spans owned by `shard`: the donor-selection
   // signal ("least-loaded donor" = most free spans).
   std::uint64_t free_spans(int shard) const;
   std::uint64_t donated_out(int shard) const;
   std::uint64_t donated_in(int shard) const;
   std::uint64_t total_donated() const;
+  std::uint64_t returned_out(int shard) const;
+  std::uint64_t returned_in(int shard) const;
+  std::uint64_t total_returned() const;
+  // Spans owned by `shard` whose home is another shard (any state): the
+  // return protocol's "work remaining" signal.
+  std::uint64_t away_spans(int shard) const;
+
+  // Recycled runs of `shard` (disjoint; coalesced with the most recently
+  // appended run, not globally sorted) -- diagnostics and the lifecycle
+  // stress auditor.
+  const std::vector<SpanRun>& RecycledRuns(int shard) const {
+    return recycled_[static_cast<std::size_t>(shard)];
+  }
+  // Host-side probe: total recycled runs inspected by TakeRecycled since
+  // construction (the next-fit cursor's regression guard).
+  std::uint64_t take_scan_steps() const { return take_scan_steps_; }
 
  private:
-  enum class State : std::uint8_t { kUngranted, kGranted, kRecycled };
-  struct SpanRun {
-    std::uint64_t first;
-    std::uint64_t count;
-  };
+  using State = SpanState;
 
   // Removes [first, first+count) from shard's recycled runs (must be fully
   // recycled there).
   void RemoveRecycledRun(int shard, std::uint64_t first, std::uint64_t count);
+  // Same, with the containing run's index already known (next-fit fast path).
+  void RemoveRecycledRunAt(int shard, std::size_t index, std::uint64_t first,
+                           std::uint64_t count);
+  // Ownership move shared by TransferRange (donation) and ReturnRange:
+  // validates every span is free and owned by `from`, lifts recycled spans
+  // out of `from`'s pool, and adjusts free/away tallies. Counters are the
+  // callers' business.
+  void MoveFreeRun(std::uint64_t first, std::uint64_t count, int from, int to);
 
   Addr heap_base_;
   std::uint64_t span_bytes_;
   int num_shards_;
   std::vector<std::int16_t> owner_;  // per span
+  std::vector<std::int16_t> home_;   // per span; fixed at construction
   std::vector<State> state_;         // per span
   std::vector<std::vector<SpanRun>> recycled_;  // per shard, coalesced runs
+  std::vector<std::size_t> take_cursor_;        // per shard, next-fit resume index
   std::vector<std::uint64_t> free_spans_;
+  std::vector<std::uint64_t> away_spans_;
   std::vector<std::uint64_t> donated_out_;
   std::vector<std::uint64_t> donated_in_;
+  std::vector<std::uint64_t> returned_out_;
+  std::vector<std::uint64_t> returned_in_;
+  std::uint64_t take_scan_steps_ = 0;
 };
 
 }  // namespace ngx

@@ -22,9 +22,17 @@ enum class OffloadOp : std::uint64_t {
   kFree = 2,
   kUsableSize = 3,
   kFlush = 4,
-  kMallocBatch = 5,  // arg1 = extra blocks to prefetch into the client stash
-  kDonateSpan = 6,   // shard->shard span request: arg = (nspans << 8) | requester
+  kMallocBatch = 5,   // arg1 = extra blocks to prefetch into the client stash
+  kDonateSpan = 6,    // shard->shard span request: arg = (nspans << 8) | requester
+  // Watermark rebalancing (DESIGN.md §8). Same wire formats as kDonateSpan:
+  // span bases are 64 KiB aligned, so base|count packs into one word.
+  kRequestSpans = 7,  // proactive refill pull: arg = (nspans << 8) | requester
+  kOfferSpans = 8,    // surplus push, ownership already moved: arg = base | nspans
+  kReturnSpan = 9,    // recycled spans flowing home, ditto: arg = base | nspans
 };
+
+// One past the largest opcode (sizes per-op telemetry tables).
+inline constexpr int kOffloadOpCount = 10;
 
 // Layout of one client's channel block (kChannelStride bytes):
 //   +0    request line:  req_seq|op (one word, Code 1's single flag), arg

@@ -23,6 +23,12 @@ const char* OpName(OffloadOp op) {
       return "malloc_batch";
     case OffloadOp::kDonateSpan:
       return "donate_span";
+    case OffloadOp::kRequestSpans:
+      return "request_spans";
+    case OffloadOp::kOfferSpans:
+      return "offer_spans";
+    case OffloadOp::kReturnSpan:
+      return "return_span";
   }
   return "unknown";
 }
@@ -53,7 +59,8 @@ void OffloadEngine::BindInstruments() {
   const std::string shard = std::to_string(shard_id_);
   for (const OffloadOp op : {OffloadOp::kMalloc, OffloadOp::kFree, OffloadOp::kUsableSize,
                              OffloadOp::kFlush, OffloadOp::kMallocBatch,
-                             OffloadOp::kDonateSpan}) {
+                             OffloadOp::kDonateSpan, OffloadOp::kRequestSpans,
+                             OffloadOp::kOfferSpans, OffloadOp::kReturnSpan}) {
     h_sync_latency_[static_cast<int>(op)] =
         &m.GetHistogram("offload.sync_latency", {{"shard", shard}, {"op", OpName(op)}});
   }
@@ -103,6 +110,12 @@ std::uint64_t OffloadEngine::SyncRequest(Env& client_env, OffloadOp op, std::uin
   Core& server = machine_->core(server_core_);
   Env server_env = ServerEnv();
   DrainRing(server_env, client);
+  // Idle-window background work (watermark rebalancing): like the drain, it
+  // starts from the server's own clock, so refills that fit before the
+  // request arrives never delay the malloc.
+  if (post_drain_hook_) {
+    post_drain_hook_(server_env);
+  }
   // How long the request sat behind the server's backlog (other clients'
   // requests and drained frees) before service could start.
   const std::uint64_t queue_wait = server.now() > send_time ? server.now() - send_time : 0;
@@ -187,6 +200,9 @@ void OffloadEngine::StallOnFullRing(Env& client_env, int client) {
   Env server_env = ServerEnv();
   server_env.Work(poll_work_);
   DrainRing(server_env, client);
+  if (post_drain_hook_) {
+    post_drain_hook_(server_env);
+  }
   machine_->core(client).AdvanceTo(server_env.now());
 }
 
@@ -198,6 +214,9 @@ void OffloadEngine::DrainAll() {
     }
     server_env.Work(poll_work_);
     DrainRing(server_env, c);
+  }
+  if (post_drain_hook_) {
+    post_drain_hook_(server_env);
   }
 }
 

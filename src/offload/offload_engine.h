@@ -11,6 +11,7 @@
 #ifndef NGX_SRC_OFFLOAD_OFFLOAD_ENGINE_H_
 #define NGX_SRC_OFFLOAD_OFFLOAD_ENGINE_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -73,6 +74,14 @@ class OffloadEngine {
   void set_shard_id(int s) { shard_id_ = s; }
   int shard_id() const { return shard_id_; }
 
+  // Invoked on the server's Env after every ring drain -- the server's idle
+  // window, before any pending sync request is served. The watermark
+  // rebalancer piggybacks refill/offer/return traffic here so it never rides
+  // the malloc critical path. Null (the default) costs nothing.
+  void set_post_drain_hook(std::function<void(Env&)> hook) {
+    post_drain_hook_ = std::move(hook);
+  }
+
  private:
   Env ServerEnv() { return Env(*machine_, server_core_); }
   void DrainRing(Env& server_env, int client);
@@ -99,11 +108,12 @@ class OffloadEngine {
   std::vector<Channel> channels_;
   std::vector<std::uint64_t> seq_;  // per-client request sequence numbers
   OffloadEngineStats stats_;
+  std::function<void(Env&)> post_drain_hook_;
 
   // Telemetry handles (host-side observation only; see src/telemetry/).
   // Sync latency is split per op; index = static_cast<int>(OffloadOp).
   bool instruments_bound_ = false;
-  Histogram* h_sync_latency_[8] = {};
+  Histogram* h_sync_latency_[kOffloadOpCount] = {};
   Histogram* h_queue_wait_ = nullptr;
   Histogram* h_drain_batch_ = nullptr;
   Histogram* h_ring_occupancy_ = nullptr;

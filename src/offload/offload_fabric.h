@@ -19,6 +19,7 @@
 #ifndef NGX_SRC_OFFLOAD_OFFLOAD_FABRIC_H_
 #define NGX_SRC_OFFLOAD_OFFLOAD_FABRIC_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -47,6 +48,13 @@ class OffloadFabric {
 
   // Binds shard s's server-side request handler.
   void set_server(int s, OffloadServer* server) { shard(s).set_server(server); }
+
+  // Installs (or clears, with null) shard s's idle-window background hook;
+  // runs on that shard's server core after every ring drain. The watermark
+  // rebalancer lives here (see OffloadEngine::set_post_drain_hook).
+  void set_post_drain_hook(int s, std::function<void(Env&)> hook) {
+    shard(s).set_post_drain_hook(std::move(hook));
+  }
 
   // Applies the poll-loop overhead knob to every shard.
   void set_poll_work(std::uint32_t n);

@@ -8,6 +8,7 @@
 #ifndef NGX_SRC_SIM_MACHINE_H_
 #define NGX_SRC_SIM_MACHINE_H_
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -97,6 +98,36 @@ class Machine {
   // Sum of all per-core counters.
   PmuCounters TotalPmu() const;
 
+  // ---- Idle-time hooks ----
+  // Background work pinned to a core (e.g. a shard server's watermark
+  // rebalancer). The scheduler calls RunIdleHooks before stepping a thread:
+  // a hook whose core clock lags the chosen thread's clock is inside its
+  // idle window and may spend it. Hooks are removed by id so a registrant
+  // destroyed before the machine cannot leave a dangling callback. No hooks
+  // registered = zero scheduling overhead and bit-identical behaviour.
+  int AddIdleHook(int core_id, std::function<void()> hook) {
+    idle_hooks_.push_back(IdleHook{next_idle_hook_id_, core_id, std::move(hook)});
+    return next_idle_hook_id_++;
+  }
+  void RemoveIdleHook(int id) {
+    for (std::size_t i = 0; i < idle_hooks_.size(); ++i) {
+      if (idle_hooks_[i].id == id) {
+        idle_hooks_.erase(idle_hooks_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+  bool has_idle_hooks() const { return !idle_hooks_.empty(); }
+  // Runs every hook whose core clock is strictly behind `horizon`. Indexed
+  // iteration keeps this safe if a hook registers further hooks.
+  void RunIdleHooks(std::uint64_t horizon) {
+    for (std::size_t i = 0; i < idle_hooks_.size(); ++i) {
+      if (core(idle_hooks_[i].core_id).now() < horizon) {
+        idle_hooks_[i].fn();
+      }
+    }
+  }
+
   // ---- Test/diagnostic hooks ----
   // Which core (if any) holds `line` modified in its private caches.
   int OwnerOf(Addr line) const;
@@ -110,6 +141,11 @@ class Machine {
   struct DirEntry {
     std::uint32_t sharers = 0;  // presence bitmask over cores' private caches
     int owner = -1;             // core holding the line modified, or -1
+  };
+  struct IdleHook {
+    int id;
+    int core_id;
+    std::function<void()> fn;
   };
 
   std::uint64_t AccessLine(int core_id, Addr line, AccessType type);
@@ -149,6 +185,8 @@ class Machine {
   Telemetry telemetry_;
   bool pmu_snapshots_ = false;
   std::vector<std::uint64_t> next_pmu_snapshot_;  // per core, in cycles
+  std::vector<IdleHook> idle_hooks_;
+  int next_idle_hook_id_ = 0;
 };
 
 }  // namespace ngx

@@ -24,6 +24,12 @@ void Scheduler::Run(Machine& machine, const std::vector<SimThread*>& threads,
       }
     }
     assert(pick < threads.size());
+    // Cores whose clocks lag the thread about to run are idle relative to
+    // it: let registered background work (watermark rebalancing) spend that
+    // window. No hooks = no behaviour change.
+    if (machine.has_idle_hooks()) {
+      machine.RunIdleHooks(best);
+    }
     Env env(machine, threads[pick]->core_id());
     if (!threads[pick]->Step(env)) {
       done[pick] = true;

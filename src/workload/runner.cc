@@ -55,6 +55,9 @@ RunResult RunWorkload(Machine& machine, Allocator& alloc, Workload& workload,
     }
     result.free_flush_occupancy = m.HistogramTotal("ngx.free_flush_occupancy", {}).Summary();
     result.donated_spans = m.CounterTotal("ngx.donated_spans", {});
+    result.rebalance_moves = m.CounterTotal("ngx.rebalance_moves", {});
+    result.returned_spans = m.CounterTotal("ngx.returned_spans", {});
+    result.inline_donation_fallbacks = m.CounterTotal("ngx.inline_donation_fallbacks", {});
   }
   return result;
 }

@@ -34,6 +34,12 @@ struct RunResult {
   // total spans donated between shards.
   HistogramSummary free_flush_occupancy;
   std::uint64_t donated_spans = 0;
+  // Watermark rebalancing digests (telemetry-enabled runs only): background
+  // transfers performed, recycled spans returned to their home shard, and
+  // mallocs that still fell back to inline donation on the critical path.
+  std::uint64_t rebalance_moves = 0;
+  std::uint64_t returned_spans = 0;
+  std::uint64_t inline_donation_fallbacks = 0;
 
   // Fraction of application-core cycles spent inside allocator code.
   double MallocTimeShare() const { return app.AllocCycleShare(); }

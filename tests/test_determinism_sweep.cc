@@ -55,6 +55,96 @@ TEST_P(SeedSweepTest, EveryAllocatorBalancedOnChurn) {
   }
 }
 
+// ---- Watermark rebalancing determinism ----
+//
+// The watermark ticks run from scheduler idle hooks and post-drain hooks, so
+// they are the newest candidate source of nondeterminism: these sweeps pin
+// the whole span economy (donations, returns, per-shard PMU streams) to the
+// seed.
+
+struct RebalanceRunState {
+  std::vector<PmuCounters> per_server;
+  std::vector<std::uint64_t> free_spans;
+  std::uint64_t donated = 0;
+  std::uint64_t returned = 0;
+  std::uint64_t doorbells = 0;
+  std::uint64_t async_ops = 0;
+  AllocatorStats stats;
+};
+
+RebalanceRunState RunRebalancingChurn(std::uint64_t seed, std::uint32_t free_batch) {
+  Machine machine(MachineConfig::Default(6));
+  NgxConfig cfg;
+  cfg.num_shards = 2;
+  cfg.hugepage_spans = false;          // 64 KiB grants: donation reachable
+  cfg.heap_window = 32 * 1024 * 1024;  // 256 spans per shard
+  cfg.span_donation = true;
+  cfg.span_low_mark = 16;
+  cfg.span_high_mark = 32;
+  cfg.free_batch = free_batch;
+  NgxSystem sys = MakeNgxSystem(machine, cfg, {4, 5});
+  ChurnConfig wl;
+  wl.live_blocks = 50;
+  wl.ops = 700;
+  wl.min_size = 256;
+  wl.max_size = 48 * 1024;  // large tail keeps spans mapping and unmapping
+  Churn workload(wl);
+  RunOptions opt;
+  opt.cores = {0, 1, 2, 3};
+  opt.server_cores = {4, 5};
+  opt.seed = seed;
+  const RunResult r = RunWorkload(machine, *sys.allocator, workload, opt);
+  sys.fabric->DrainAll();
+  RebalanceRunState out;
+  out.per_server = r.per_server;
+  const SpanDirectory& d = *sys.allocator->directory();
+  for (int s = 0; s < cfg.num_shards; ++s) {
+    out.free_spans.push_back(d.free_spans(s));
+  }
+  out.donated = d.total_donated();
+  out.returned = d.total_returned();
+  out.doorbells = sys.fabric->TotalStats().ring_doorbells;
+  out.async_ops = sys.fabric->TotalStats().async_ops;
+  out.stats = sys.allocator->stats();
+  return out;
+}
+
+TEST_P(SeedSweepTest, RebalancingFabricDeterministicPerSeed) {
+  const RebalanceRunState a = RunRebalancingChurn(GetParam(), 8);
+  const RebalanceRunState b = RunRebalancingChurn(GetParam(), 8);
+  ASSERT_EQ(a.per_server.size(), b.per_server.size());
+  for (std::size_t s = 0; s < a.per_server.size(); ++s) {
+    EXPECT_EQ(a.per_server[s].cycles, b.per_server[s].cycles) << "shard " << s;
+    EXPECT_EQ(a.per_server[s].instructions, b.per_server[s].instructions) << "shard " << s;
+    EXPECT_EQ(a.per_server[s].llc_load_misses, b.per_server[s].llc_load_misses)
+        << "shard " << s;
+    EXPECT_EQ(a.per_server[s].dtlb_load_misses, b.per_server[s].dtlb_load_misses)
+        << "shard " << s;
+  }
+  EXPECT_EQ(a.free_spans, b.free_spans);
+  EXPECT_EQ(a.donated, b.donated) << "span donations must replay bit-identically";
+  EXPECT_EQ(a.returned, b.returned) << "span returns must replay bit-identically";
+  EXPECT_EQ(a.doorbells, b.doorbells);
+  EXPECT_EQ(a.stats.mallocs, b.stats.mallocs);
+  EXPECT_EQ(a.stats.bytes_live, b.stats.bytes_live);
+}
+
+// free_batch only changes WHEN frees cross the fabric, never what the
+// program observes: the logical end state (mallocs, frees, live bytes, no
+// OOM) is identical for batch sizes 1 and 8; only the doorbell count drops.
+TEST_P(SeedSweepTest, FreeBatchChangesOnlyTheDoorbellCount) {
+  const RebalanceRunState b1 = RunRebalancingChurn(GetParam(), 1);
+  const RebalanceRunState b8 = RunRebalancingChurn(GetParam(), 8);
+  EXPECT_EQ(b1.stats.mallocs, b8.stats.mallocs);
+  EXPECT_EQ(b1.stats.frees, b8.stats.frees);
+  EXPECT_EQ(b1.stats.bytes_requested, b8.stats.bytes_requested);
+  EXPECT_EQ(b1.stats.bytes_live, b8.stats.bytes_live);
+  EXPECT_EQ(b1.stats.oom_failures, 0u);
+  EXPECT_EQ(b8.stats.oom_failures, 0u);
+  EXPECT_EQ(b1.async_ops, b8.async_ops) << "same free entries cross the ring";
+  EXPECT_GT(b1.doorbells, b8.doorbells) << "batching must amortize doorbells";
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
                          ::testing::Values(1ull, 2ull, 42ull, 0xdeadbeefull, 123456789ull));
 
