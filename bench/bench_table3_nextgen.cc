@@ -91,6 +91,28 @@ int main(int argc, char** argv) {
   pred_sys.fabric->DrainAll();
   std::cerr << "[done] nextgen+prediction\n";
 
+  // Prediction plus the pipelined double-buffered stash (DESIGN.md §9): the
+  // per-batch sync round trip becomes a background kRefillStash overlapped
+  // with application work; only a client that outruns the server stalls.
+  Machine m_pipe(Table3Machine());
+  NgxConfig pipe_cfg = pred_cfg;
+  pipe_cfg.stash_pipeline = true;
+  pipe_cfg.stash_refill_mark = 2;
+  // Total inventory = the two 7-entry halves, no spill stack: the ablation
+  // sweep shows deeper client-side retention loses on this workload (the
+  // phased alloc/free structure frees in bursts the spill can't re-serve
+  // before the phase ends, and extra stash lines dilute the L1).
+  pipe_cfg.stash_capacity = 14;
+  NgxSystem pipe_sys = MakeNgxSystem(m_pipe, pipe_cfg, /*server_core=*/1);
+  XalancLike wl_pipe(wl);
+  RunOptions opt_pipe = opt_ngx;
+  const RunResult r_pipe = RunWorkload(m_pipe, *pipe_sys.allocator, wl_pipe, opt_pipe);
+  pipe_sys.fabric->DrainAll();
+  const std::uint64_t pipe_sync = pipe_sys.allocator->sync_mallocs();
+  const std::uint64_t pipe_refills = pipe_sys.allocator->stash_refills();
+  const std::uint64_t pipe_stalls = pipe_sys.allocator->stash_starvation_stalls();
+  std::cerr << "[done] nextgen+pipeline\n";
+
   TextTable t({"counter (app core)", "Mimalloc", "NextGen-Malloc"});
   auto row = [&](const std::string& label, auto getter) {
     t.AddRow({label, FormatSci(static_cast<double>(getter(r_mi.app))),
@@ -110,11 +132,14 @@ int main(int argc, char** argv) {
   const double mi_cycles = static_cast<double>(r_mi.wall_cycles);
   const double ngx_cycles = static_cast<double>(r_ngx.wall_cycles);
   const double pred_cycles = static_cast<double>(r_pred.wall_cycles);
+  const double pipe_cycles = static_cast<double>(r_pipe.wall_cycles);
   TextTable shape({"shape metric", "paper", "measured"});
   shape.AddRow({"NextGen speedup over Mimalloc", "+4.51%",
                 FormatFixed(100.0 * (mi_cycles / ngx_cycles - 1.0), 2) + "%"});
   shape.AddRow({"  + 3.3.2 prediction enabled", "(not in paper)",
                 FormatFixed(100.0 * (mi_cycles / pred_cycles - 1.0), 2) + "%"});
+  shape.AddRow({"  + pipelined stash refills", "(not in paper)",
+                FormatFixed(100.0 * (mi_cycles / pipe_cycles - 1.0), 2) + "%"});
   shape.AddRow({"dTLB-load misses reduced", "yes",
                 r_ngx.app.dtlb_load_misses < r_mi.app.dtlb_load_misses ? "yes" : "NO"});
   shape.AddRow({"LLC-load misses reduced", "yes",
@@ -126,8 +151,13 @@ int main(int argc, char** argv) {
   cli.Metric("mimalloc_wall_cycles", r_mi.wall_cycles);
   cli.Metric("nextgen_wall_cycles", r_ngx.wall_cycles);
   cli.Metric("nextgen_prediction_wall_cycles", r_pred.wall_cycles);
+  cli.Metric("nextgen_pipeline_wall_cycles", r_pipe.wall_cycles);
   cli.Metric("nextgen_speedup_pct", 100.0 * (mi_cycles / ngx_cycles - 1.0));
   cli.Metric("nextgen_prediction_speedup_pct", 100.0 * (mi_cycles / pred_cycles - 1.0));
+  cli.Metric("nextgen_pipeline_speedup_pct", 100.0 * (mi_cycles / pipe_cycles - 1.0));
+  cli.Metric("pipeline_sync_mallocs", pipe_sync);
+  cli.Metric("pipeline_stash_refills", pipe_refills);
+  cli.Metric("pipeline_starvation_stalls", pipe_stalls);
   cli.Metric("server_cycles", r_ngx.server.cycles);
   JsonValue counters = JsonValue::Object();
   counters.Set("mimalloc", PmuJson(r_mi.app));

@@ -56,4 +56,19 @@ width = max((len(r[0]) for r in rows), default=0)
 print("\n=== bench_results summary ===")
 for name, digest in rows:
     print(f"  {name:<{width}}  {digest}")
+
+# Table-3 headline: how each protocol rung moves the app vs inline Mimalloc.
+t3_path = os.path.join(results_dir, "table3_nextgen.json")
+if os.path.exists(t3_path):
+    with open(t3_path) as f:
+        m = json.load(f).get("metrics", {})
+    sync = m.get("nextgen_speedup_pct")
+    pred = m.get("nextgen_prediction_speedup_pct")
+    pipe = m.get("nextgen_pipeline_speedup_pct")
+    if None not in (sync, pred, pipe):
+        print("\n=== Table 3 speedup vs Mimalloc (paper: +4.51%) ===")
+        print(f"  sync protocol        {sync:+.2f}%")
+        print(f"  + prediction stash   {pred:+.2f}%")
+        print(f"  + pipelined refills  {pipe:+.2f}%   "
+              f"(pipeline delta over sync: {pipe - sync:+.2f} pp)")
 PYEOF

@@ -71,6 +71,20 @@ class IndexStack {
     return true;
   }
 
+  // Pop that also reports how many entries remain -- the count was already
+  // loaded, so callers that need it (the stash pipeline's refill-mark check)
+  // avoid a second timed load of the count word.
+  bool Pop(Env& env, std::uint64_t* v, std::uint64_t* remaining) {
+    const std::uint64_t count = env.Load<std::uint64_t>(base_);
+    if (count == 0) {
+      return false;
+    }
+    *v = env.Load<std::uint64_t>(EntryAddr(count - 1));
+    env.Store<std::uint64_t>(base_, count - 1);
+    *remaining = count - 1;
+    return true;
+  }
+
   std::uint64_t Size(Env& env) const { return env.Load<std::uint64_t>(base_); }
   std::uint32_t capacity() const { return capacity_; }
 

@@ -62,6 +62,27 @@ struct NgxConfig {
   std::uint32_t max_predict_batch = 16;
   std::uint32_t stash_capacity = 32;
 
+  // Pipelined stash refills (DESIGN.md §9): the (core, class) stash becomes
+  // two halves with a seqlock-style publish word. When the active half drains
+  // to stash_refill_mark entries, the client posts a non-blocking
+  // kRefillStash on the async ring and keeps popping; the server fills the
+  // INACTIVE half during its drain window and publishes with one
+  // release-store, so the refill overlaps application work instead of
+  // stalling it the way the sync kMallocBatch round trip does. Requires
+  // offload + prediction; stash_refill_mark = 0 (or stash_pipeline = false)
+  // disables the pipeline and the sim is bit-identical to pre-pipeline
+  // builds.
+  bool stash_pipeline = false;
+  std::uint32_t stash_refill_mark = 4;
+
+  // Periodic watermark timer (DESIGN.md §8): when > 0 (and span_low_mark is
+  // set), every shard's WatermarkTick also fires each time its server core's
+  // clock advances this many cycles, so a starved shard on a busy machine
+  // rebalances even when the scheduler's idle-hook window never opens
+  // (idle hooks only fire for cores behind the global minimum clock).
+  // 0 = idle/post-drain hooks only (the historical behavior, bit-identical).
+  std::uint64_t watermark_timer_cycles = 0;
+
   std::uint32_t ring_capacity = 64;
 
   // Elastic heap fabric (span-granular ownership; see DESIGN.md §7).

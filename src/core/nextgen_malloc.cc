@@ -112,18 +112,74 @@ NgxAllocator::NgxAllocator(Machine& machine, OffloadFabric* fabric, const NgxCon
   }
   if (config.prediction) {
     predictor_.emplace(machine.num_cores(), classes_.num_classes(), config.max_predict_batch);
-    stash_slot_ = AlignUp(IndexStack::FootprintBytes(config.stash_capacity), 64);
+    // Pipelined refills need the offload fabric (the refill rides the async
+    // ring) and a nonzero mark; with either missing the single-stack layout
+    // below is byte-for-byte the historical one, keeping pipeline-off runs
+    // bit-identical to pre-pipeline builds.
+    pipeline_ = config.offload && config.stash_pipeline && config.stash_refill_mark > 0;
+    if (pipeline_) {
+      NGX_CHECK(classes_.num_classes() < (1u << 16),
+                "kRefillStash packs the size class into the tagged-ring arg");
+      // [half 0][half 1][spill stack], the halves one 64-byte line each:
+      // [seq|count][7 entries]. The per-half capacity is the line, not
+      // config.stash_capacity -- REFILL batches beyond one line would cost a
+      // transfer per extra line and hand out ever-colder server blocks. The
+      // rest of the configured capacity becomes the client-only spill stack
+      // behind the halves (see SpillAddr), which holds recycled frees, never
+      // server fills, so its depth stretches no refill.
+      pipe_cap_ = std::min<std::uint32_t>(config.stash_capacity, kPipeHalfCap);
+      NGX_CHECK(pipe_cap_ > 0, "pipelined stash needs a nonzero capacity");
+      spill_depth_ = config.stash_capacity > 2 * kPipeHalfCap
+                         ? config.stash_capacity - 2 * kPipeHalfCap
+                         : 0;
+      stash_half_bytes_ = 64;
+      stash_slot_ = 2 * stash_half_bytes_ + AlignUp(8ull * spill_depth_, 64);
+      pipes_.assign(static_cast<std::size_t>(machine.num_cores()) * classes_.num_classes(),
+                    StashPipe{});
+    } else {
+      stash_slot_ = AlignUp(IndexStack::FootprintBytes(config.stash_capacity), 64);
+    }
     stash_stride_ = AlignUp(stash_slot_ * classes_.num_classes(), kSmallPageBytes);
     stash_provider_ = std::make_unique<PageProvider>(
         kNgxMetaBase + kHeapWindow, kHeapWindow, "ngx-stash");
     stash_base_ = stash_provider_->MapAtStartup(
         machine, stash_stride_ * machine.num_cores(), PageKind::kSmall4K);
   }
+  if (pipeline_) {
+    // With refills riding the ring instead of piggybacking on sync mallocs,
+    // the server's drain windows would shrink to refill kicks only; let the
+    // spinning server also pick up a half-full free ring in the background
+    // (no client stall) so backpressure stalls stay the rare case.
+    fabric_->set_eager_drain_at(config.ring_capacity / 2);
+    // Ring pushes keep the producer indices in registers (SPSC idiom): a
+    // remote free costs the entry store and the head release-store, not a
+    // re-read of the server-written tail line per push.
+    fabric_->set_producer_index_cache(true);
+  }
+  if (rebalance_ && config.watermark_timer_cycles > 0) {
+    // Third tick path (DESIGN.md §8): a periodic per-shard timer. Idle hooks
+    // only fire for cores strictly behind the globally slowest runnable
+    // thread, so a starved shard on a machine whose clients all run hot can
+    // wait arbitrarily long for a window; the timer bounds that wait to one
+    // period. Not registered by default (0), keeping timer-less runs
+    // bit-identical.
+    for (int s = 0; s < nshards; ++s) {
+      const int core = fabric->server_cores()[static_cast<std::size_t>(s)];
+      timer_hook_ids_.push_back(
+          machine.AddTimerHook(core, config.watermark_timer_cycles, [this, s, core] {
+            Env env(*machine_, core);
+            WatermarkTick(env, s);
+          }));
+    }
+  }
 }
 
 NgxAllocator::~NgxAllocator() {
   for (const int id : idle_hook_ids_) {
     machine_->RemoveIdleHook(id);
+  }
+  for (const int id : timer_hook_ids_) {
+    machine_->RemoveTimerHook(id);
   }
   if (rebalance_ && fabric_ != nullptr) {
     for (int s = 0; s < num_shards(); ++s) {
@@ -159,17 +215,26 @@ void NgxAllocator::BindInstruments() {
   c_returned_spans_ = &m.GetCounter("ngx.returned_spans", {{"alloc", "nextgen"}});
   c_inline_fallbacks_ =
       &m.GetCounter("ngx.inline_donation_fallbacks", {{"alloc", "nextgen"}});
+  c_stash_refills_ = &m.GetCounter("ngx.stash_refills", {{"alloc", "nextgen"}});
+  h_refill_batch_ = &m.GetHistogram("ngx.stash_refill_batch", {{"alloc", "nextgen"}});
+  c_refill_overlap_ = &m.GetCounter("ngx.refill_overlap_cycles", {{"alloc", "nextgen"}});
+  c_starvation_ = &m.GetCounter("ngx.stash_starvation_stalls", {{"alloc", "nextgen"}});
+  c_stash_recycles_ = &m.GetCounter("ngx.stash_recycles", {{"alloc", "nextgen"}});
   instruments_bound_ = true;
 }
 
-void NgxAllocator::ClassifyFree(Addr addr, int core) {
+void NgxAllocator::ClassifyFree(Addr addr, int core, bool rec) {
   const auto it = alloc_core_.find(addr);
   if (it == alloc_core_.end()) {
     // Allocated before telemetry was enabled (or stashed and never popped).
-    c_free_unknown_->Add();
+    if (rec) {
+      c_free_unknown_->Add();
+    }
     return;
   }
-  (it->second == core ? c_free_local_ : c_free_remote_)->Add();
+  if (rec) {
+    (it->second == core ? c_free_local_ : c_free_remote_)->Add();
+  }
   alloc_core_.erase(it);
 }
 
@@ -196,6 +261,9 @@ Addr NgxAllocator::Malloc(Env& env, std::uint64_t size) {
   env.Work(4);  // stub dispatch
   if (config_.prediction && size <= classes_.max_size()) {
     const std::uint32_t cls = classes_.ClassOf(size);
+    if (pipeline_) {
+      return PipelinedMalloc(env, size, cls, rec, t0);
+    }
     IndexStack stash = Stash(env.core_id(), cls);
     std::uint64_t block = 0;
     if (stash.Pop(env, &block)) {
@@ -231,8 +299,10 @@ void NgxAllocator::Free(Env& env, Addr addr) {
   }
   const bool rec = Recording();
   const std::uint64_t t0 = env.now();
-  if (rec) {
-    ClassifyFree(addr, env.core_id());
+  if (rec || !alloc_core_.empty()) {
+    // The map must keep draining even after telemetry is switched off, or
+    // blocks noted while it was on would pin entries forever.
+    ClassifyFree(addr, env.core_id(), rec);
   }
   if (!config_.offload) {
     heaps_[0]->Free(env, addr);
@@ -242,6 +312,25 @@ void NgxAllocator::Free(Env& env, Addr addr) {
     return;
   }
   env.Work(3);
+  if (pipeline_) {
+    // Recycle fast path (DESIGN.md §9): classify the block locally with one
+    // load of read-mostly heap metadata and push it straight back onto this
+    // core's active stash half. The block never reaches the ring or the
+    // server, and the next malloc of its class pops it while its data lines
+    // are still warm -- the depth-1 LIFO reuse the synchronous path gets
+    // from the server's free stacks, kept without the round trip.
+    const std::int64_t cls =
+        heaps_[static_cast<std::size_t>(ShardOfAddr(addr))]->ClassifyForRecycle(env, addr);
+    if (cls >= 0 &&
+        StashRecycle(env, env.core_id(), static_cast<std::uint32_t>(cls), addr)) {
+      ++recycled_frees_;
+      if (rec) {
+        c_stash_recycles_->Add();
+        h_free_->Record(env.now() - t0);
+      }
+      return;
+    }
+  }
   // A block is always returned to the shard owning its heap partition, no
   // matter which client frees it or which policy routed the malloc.
   const int shard = ShardOfAddr(addr);
@@ -264,6 +353,244 @@ void NgxAllocator::Free(Env& env, Addr addr) {
   if (rec) {
     h_free_->Record(env.now() - t0);
   }
+}
+
+bool NgxAllocator::StashPopActive(Env& env, int core, std::uint32_t cls, Addr* out,
+                                  std::uint64_t* remaining) {
+  StashPipe& pipe = Pipe(core, cls);
+  const std::uint32_t count = pipe.count[pipe.active];
+  if (count == 0) {
+    return false;
+  }
+  // Entry count-1 sits at base + 8 * count. The count decrement is pure
+  // register arithmetic; the header in memory stays whatever the last
+  // protocol-boundary write left (nobody reads it while the client owns
+  // the half).
+  *out = env.Load<std::uint64_t>(HalfAddr(core, cls, pipe.active) + 8 * count);
+  pipe.count[pipe.active] = count - 1;
+  *remaining = count - 1;
+  return true;
+}
+
+bool NgxAllocator::StashRecycle(Env& env, int core, std::uint32_t cls, Addr addr) {
+  StashPipe& pipe = Pipe(core, cls);
+  const std::uint32_t count = pipe.count[pipe.active];
+  if (count < pipe_cap_) {
+    // One timed store -- the entry itself, at the active half's top, where
+    // the very next pop of this class returns it (depth-1 LIFO). The count
+    // bump is the register mirror.
+    env.Store<std::uint64_t>(HalfAddr(core, cls, pipe.active) + 8 * (count + 1), addr);
+    pipe.count[pipe.active] = count + 1;
+    return true;
+  }
+  if (pipe.spill < spill_depth_) {
+    // Active half full (a free burst): retain the block client-side on the
+    // spill stack rather than shipping it to the server only to refill it
+    // back later. Spill lines are touched by no other core, so this is one
+    // local store with no coherence traffic at all.
+    env.Store<std::uint64_t>(SpillAddr(core, cls, pipe.spill), addr);
+    ++pipe.spill;
+    return true;
+  }
+  return false;  // inventory bounded; the free takes the ring to its shard
+}
+
+Addr NgxAllocator::PipelinedMalloc(Env& env, std::uint64_t size, std::uint32_t cls,
+                                   bool rec, std::uint64_t t0) {
+  const int core = env.core_id();
+  StashPipe& pipe = Pipe(core, cls);
+  std::uint64_t block = 0;
+  std::uint64_t remaining = 0;
+  if (StashPopActive(env, core, cls, &block, &remaining)) {
+    ++stash_hits_;
+    MaybePostRefill(env, cls, remaining);
+    if (rec) {
+      h_malloc_stash_->Record(env.now() - t0);
+      NoteAlloc(block, core);
+    }
+    return block;
+  }
+  if (pipe.spill > 0) {
+    // Active half dry but the spill stack holds recycled frees: one local
+    // load, LIFO -- the most recently freed block of this class, likeliest
+    // still warm in this core's cache. Spill blocks are consumed before any
+    // refill is posted (they are hotter than anything the server could
+    // send).
+    --pipe.spill;
+    block = env.Load<std::uint64_t>(SpillAddr(core, cls, pipe.spill));
+    ++stash_hits_;
+    MaybePostRefill(env, cls, pipe.spill);
+    if (rec) {
+      h_malloc_stash_->Record(env.now() - t0);
+      NoteAlloc(block, core);
+    }
+    return block;
+  }
+  if (pipe.in_flight) {
+    // The active half ran dry with a refill outstanding: consume it and keep
+    // popping. The refill may itself have come up empty (partition OOM), in
+    // which case we fall through to the sync path below.
+    FlipStash(env, core, cls);
+    if (StashPopActive(env, core, cls, &block, &remaining)) {
+      ++stash_hits_;
+      MaybePostRefill(env, cls, remaining);
+      if (rec) {
+        h_malloc_stash_->Record(env.now() - t0);
+        NoteAlloc(block, core);
+      }
+      return block;
+    }
+  } else if (pipe.count[pipe.active ^ 1] > 0) {
+    // Both halves are client-owned and the other one holds recycled frees
+    // (or an already-consumed refill's leftovers): flip locally, no server
+    // involvement. Together the halves form a 2*kPipeHalfCap-deep client
+    // cache; background refills are reserved for true net growth.
+    pipe.active ^= 1u;
+    ++stash_local_flips_;
+    if (StashPopActive(env, core, cls, &block, &remaining)) {
+      ++stash_hits_;
+      MaybePostRefill(env, cls, remaining);
+      if (rec) {
+        h_malloc_stash_->Record(env.now() - t0);
+        NoteAlloc(block, core);
+      }
+      return block;
+    }
+  }
+  // Cold stream (or a dry refill): the classic synchronous round trip. The
+  // server's kMallocBatch seeds the ACTIVE half, and the predictor warms up
+  // exactly as in the non-pipelined path until refills take over.
+  ++sync_mallocs_;
+  const int shard = fabric_->RouteMalloc(core, size, cls);
+  const Addr a = fabric_->SyncRequest(env, shard, OffloadOp::kMallocBatch, size);
+  // Refresh the register mirror from the seeded header: one load of the
+  // line every subsequent pop of this half hits anyway. (Both halves were
+  // empty or the sync path would not have run, so only the count changes.)
+  pipe.count[pipe.active] = static_cast<std::uint32_t>(
+      env.Load<std::uint64_t>(HalfAddr(core, cls, pipe.active)) & 0xffffffffull);
+  if (rec) {
+    h_malloc_sync_->Record(env.now() - t0);
+    NoteAlloc(a, core);
+  }
+  return a;
+}
+
+void NgxAllocator::MaybePostRefill(Env& env, std::uint32_t cls, std::uint64_t remaining) {
+  const int core = env.core_id();
+  StashPipe& pipe = Pipe(core, cls);
+  if (pipe.in_flight || remaining > config_.stash_refill_mark) {
+    return;
+  }
+  if (pipe.count[pipe.active ^ 1] > 0 || pipe.spill > 0) {
+    return;  // client-held blocks remain; they are hotter than any refill
+  }
+  const std::uint32_t want = predictor_->RefillSize(core, cls, pipe_cap_);
+  if (want == 0) {
+    return;  // stream too cold; the next miss pays the sync trip and warms it
+  }
+  predictor_->OnStashRefill(core, cls);
+  pipe.in_flight = true;
+  pipe.filling = pipe.active ^ 1u;
+  pipe.want = want;
+  ++pipe.expected_seq;
+  pipe.post_time = env.now();
+  const std::uint64_t arg = (static_cast<std::uint64_t>(cls) << 24) |
+                            (static_cast<std::uint64_t>(want) << 8) |
+                            static_cast<std::uint64_t>(pipe.filling);
+  const int shard = fabric_->RouteMalloc(core, classes_.SizeOf(cls), cls);
+  // Fire and forget: the server consumes the doorbell and runs the fill on
+  // its own clock; the client returns to application work immediately.
+  fabric_->AsyncRequestKicked(env, shard, OffloadOp::kRefillStash, arg);
+}
+
+void NgxAllocator::FlipStash(Env& env, int core, std::uint32_t cls) {
+  StashPipe& pipe = Pipe(core, cls);
+  // The eager kick in AsyncRequestKicked already ran the fill, so the
+  // server-side times are known; the client just may not have caught up to
+  // them yet.
+  std::uint64_t stall = 0;
+  if (pipe.publish_time > env.now()) {
+    // The client drained a whole half faster than the server could fill the
+    // other: wait for the publish (the pipeline's only blocking point).
+    stall = pipe.publish_time - env.now();
+    ++stash_starvation_stalls_;
+    machine_->core(core).AdvanceTo(pipe.publish_time);
+    if (Recording()) {
+      c_starvation_->Add();
+    }
+  }
+  // The acquire-read of the filled half's header is the flip's one
+  // guaranteed line transfer -- and it pulls the very line every subsequent
+  // pop of this half hits, so a whole refill batch moves in that single
+  // transfer.
+  const std::uint64_t w0 = env.AtomicLoad(HalfAddr(core, cls, pipe.filling));
+  NGX_CHECK((w0 >> 32) == (pipe.expected_seq & 0xffffffffull),
+            "stash publish word out of protocol order");
+  // The acquire is also where the client's register mirror learns how many
+  // blocks the server actually delivered.
+  pipe.count[pipe.filling] = static_cast<std::uint32_t>(w0 & 0xffffffffull);
+  const std::uint64_t fill_span =
+      pipe.publish_time > pipe.fill_start ? pipe.publish_time - pipe.fill_start : 0;
+  const std::uint64_t hidden = fill_span > stall ? fill_span - stall : 0;
+  refill_overlap_cycles_ += hidden;
+  pipe.active = pipe.filling;
+  pipe.in_flight = false;
+  ++stash_flips_;
+  if (Recording()) {
+    c_refill_overlap_->Add(hidden);
+  }
+}
+
+std::uint64_t NgxAllocator::HandleRefillStash(Env& server_env, int shard, int client,
+                                              std::uint64_t arg) {
+  const std::uint32_t cls = static_cast<std::uint32_t>(arg >> 24);
+  const std::uint32_t want = static_cast<std::uint32_t>((arg >> 8) & 0xffff);
+  const int half = static_cast<int>(arg & 0xff);
+  NGX_CHECK(pipeline_ && cls < classes_.num_classes(), "refill without a pipelined stash");
+  StashPipe& pipe = Pipe(client, cls);
+  NGX_CHECK(pipe.in_flight && static_cast<int>(pipe.filling) == half && pipe.want == want,
+            "kRefillStash out of protocol order");
+  NGX_CHECK(want <= kPipeHalfCap, "refill batch cannot exceed one stash line");
+  pipe.fill_start = server_env.now();
+  ServerHeap& heap = *heaps_[static_cast<std::size_t>(shard)];
+  const Addr base = HalfAddr(client, cls, half);
+  Addr got[kPipeHalfCap];
+  std::uint32_t filled = 0;
+  while (filled < want) {
+    Addr b = heap.Malloc(server_env, classes_.SizeOf(cls));
+    if (b == kNullAddr && donation_) {
+      b = MallocWithDonation(server_env, shard, classes_.SizeOf(cls));
+    }
+    if (b == kNullAddr) {
+      break;
+    }
+    got[filled++] = b;
+  }
+  // Hottest block on top: got[0] came off the top of the heap's LIFO free
+  // stack (the most recently freed block, likeliest still warm in the
+  // client's cache), so store it at the TOP of the half -- the client's
+  // first pop returns it. (Address-sorting the batch for adjacency was
+  // measured: it trades ~2k LLC misses for ~4k dTLB misses and loses.)
+  for (std::uint32_t j = 0; j < filled; ++j) {
+    server_env.Store<std::uint64_t>(base + 8 * static_cast<std::uint64_t>(filled - j),
+                                    got[j]);
+  }
+  // One release-store of the header commits the whole batch: the client's
+  // acquire-read at flip time orders it after every entry store above.
+  server_env.AtomicStore(base, ((pipe.expected_seq & 0xffffffffull) << 32) | filled);
+  pipe.publish_time = server_env.now();
+  ++stash_refills_;
+  refill_blocks_ += filled;
+  if (Recording()) {
+    c_stash_refills_->Add();
+    h_refill_batch_->Record(filled);
+    Telemetry& tel = machine_->telemetry();
+    if (tel.tracing()) {
+      tel.tracer().Complete("stash_refill", server_env.core_id(), pipe.fill_start,
+                            server_env.now() - pipe.fill_start);
+    }
+  }
+  return 0;
 }
 
 void NgxAllocator::FlushFreeBuf(Env& env, int shard) {
@@ -305,10 +632,41 @@ void NgxAllocator::Flush(Env& env) {
   // any shard; each goes back to its owner.
   if (config_.prediction) {
     for (std::uint32_t cls = 0; cls < classes_.num_classes(); ++cls) {
-      IndexStack stash = Stash(env.core_id(), cls);
       std::uint64_t block = 0;
-      while (stash.Pop(env, &block)) {
-        fabric_->AsyncRequest(env, ShardOfAddr(block), OffloadOp::kFree, block);
+      if (pipeline_) {
+        // Both halves can hold live blocks (an unconsumed refill sits in the
+        // filling half, already published by the eager kick); return them
+        // all and retire any outstanding refill. Counts come from the
+        // register mirrors for client-owned halves; an in-flight fill's
+        // count is the server's until the acquire-read consumes its publish.
+        StashPipe& pipe = Pipe(env.core_id(), cls);
+        for (int half = 0; half < 2; ++half) {
+          const Addr base = HalfAddr(env.core_id(), cls, half);
+          std::uint32_t count;
+          if (pipe.in_flight && pipe.filling == half) {
+            count = static_cast<std::uint32_t>(env.AtomicLoad(base) & 0xffffffffull);
+          } else {
+            count = pipe.count[half];
+          }
+          while (count > 0) {
+            block = env.Load<std::uint64_t>(base + 8 * count);
+            --count;
+            fabric_->AsyncRequest(env, ShardOfAddr(block), OffloadOp::kFree, block);
+          }
+          env.Store<std::uint64_t>(base, 0);
+          pipe.count[half] = 0;
+        }
+        while (pipe.spill > 0) {
+          --pipe.spill;
+          block = env.Load<std::uint64_t>(SpillAddr(env.core_id(), cls, pipe.spill));
+          fabric_->AsyncRequest(env, ShardOfAddr(block), OffloadOp::kFree, block);
+        }
+        pipe.in_flight = false;
+      } else {
+        IndexStack stash = Stash(env.core_id(), cls);
+        while (stash.Pop(env, &block)) {
+          fabric_->AsyncRequest(env, ShardOfAddr(block), OffloadOp::kFree, block);
+        }
       }
     }
   }
@@ -351,6 +709,28 @@ std::uint64_t NgxAllocator::HandleShardRequest(Env& server_env, int shard, int c
       }
       const std::uint32_t cls = classes_.ClassOf(arg);
       std::uint32_t batch = predictor_->OnMallocMiss(client, cls);
+      if (pipeline_) {
+        // The sync path seeds the client's ACTIVE half, which the protocol
+        // guarantees is dry (both halves empty, no refill in flight, or the
+        // sync trip would not have run) -- so the server fills from slot 1
+        // without reading the stale header and stores the plain count (the
+        // sync response the client is spinning on orders these stores; the
+        // client refreshes its register mirror from the header after the
+        // trip).
+        const Addr base = HalfAddr(client, cls, Pipe(client, cls).active);
+        batch = std::min(batch, pipe_cap_);
+        std::uint64_t count = 0;
+        for (std::uint32_t i = 0; i < batch; ++i) {
+          const Addr b = heap.Malloc(server_env, classes_.SizeOf(cls));
+          if (b == kNullAddr) {
+            break;
+          }
+          server_env.Store<std::uint64_t>(base + 8 * (count + 1), b);
+          ++count;
+        }
+        server_env.Store<std::uint64_t>(base, count);
+        return first;
+      }
       batch = std::min(batch, config_.stash_capacity);
       IndexStack stash = Stash(client, cls);
       for (std::uint32_t i = 0; i < batch; ++i) {
@@ -382,6 +762,8 @@ std::uint64_t NgxAllocator::HandleShardRequest(Env& server_env, int shard, int c
     case OffloadOp::kOfferSpans:
     case OffloadOp::kReturnSpan:
       return HandleSpanGraft(server_env, shard, arg);
+    case OffloadOp::kRefillStash:
+      return HandleRefillStash(server_env, shard, client, arg);
   }
   return 0;
 }

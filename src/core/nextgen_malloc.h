@@ -27,6 +27,21 @@
 //    With config.free_batch > 1, remote frees accumulate in per-(client,
 //    shard) buffers and flush free_batch entries per ring doorbell.
 //
+// With config.stash_pipeline (DESIGN.md §9), each (core, class) stash splits
+// into two single-cache-line halves whose header word doubles as a
+// seqlock-style publish word: when the active half drains to
+// stash_refill_mark entries the client posts a non-blocking kRefillStash on
+// the async ring and keeps allocating; the serving shard fills the INACTIVE
+// half on its own clock -- hottest block on top -- and publishes the whole
+// batch with one release-store of the header. The client flips halves only
+// when the active one runs dry, paying one line transfer per refill batch --
+// and a stall only if it outran the server. Frees of small blocks recycle
+// straight into the active half after a one-load local classification
+// (ServerHeap::ClassifyForRecycle), so in steady state blocks bounce between
+// the app and its own stash at depth-1 LIFO and neither the ring nor the
+// server sees them. The sync kMallocBatch round trip remains as the cold
+// path.
+//
 // Set config.offload = false for the MMT-style inline ablation: the same
 // heap runs on the calling core (the lock must then be kept when several
 // threads share it). config.num_shards = 1 reproduces the paper's 4.2
@@ -86,6 +101,27 @@ class NgxAllocator : public Allocator {
   std::uint64_t stash_hits() const { return stash_hits_; }
   std::uint64_t sync_mallocs() const { return sync_mallocs_; }
 
+  // Stash pipeline observability (config.stash_pipeline; DESIGN.md §9).
+  bool stash_pipelined() const { return pipeline_; }
+  // Background kRefillStash fills served / halves flipped by clients.
+  std::uint64_t stash_refills() const { return stash_refills_; }
+  std::uint64_t stash_flips() const { return stash_flips_; }
+  std::uint64_t refill_blocks() const { return refill_blocks_; }
+  // Server fill cycles hidden behind client work (fill duration minus any
+  // client stall waiting on the publish), and flips that DID stall because
+  // the client drained the active half before the server published.
+  std::uint64_t refill_overlap_cycles() const { return refill_overlap_cycles_; }
+  std::uint64_t stash_starvation_stalls() const { return stash_starvation_stalls_; }
+  // Frees recycled straight into the client's active stash half (never
+  // reached the ring or the server; see StashRecycle).
+  std::uint64_t stash_recycled_frees() const { return recycled_frees_; }
+  // Dry-active flips onto a non-empty client-owned inactive half (no refill
+  // in flight, no server involvement -- the halves acting as one 14-deep
+  // client cache).
+  std::uint64_t stash_local_flips() const { return stash_local_flips_; }
+  // Live entries in the telemetry alloc-site map (tests assert it drains).
+  std::size_t live_alloc_notes() const { return alloc_core_.size(); }
+
   // Span-granular ownership bookkeeping (present when num_shards > 1).
   const SpanDirectory* directory() const { return directory_.get(); }
   SpanDirectory* directory() { return directory_.get(); }
@@ -123,6 +159,93 @@ class NgxAllocator : public Allocator {
                           stash_slot_ * cls,
                       config_.stash_capacity);
   }
+
+  // ---- Stash pipeline (config.stash_pipeline; DESIGN.md §9) ----
+  // Host-side per-(core, class) pipeline state. The simulated protocol state
+  // is only each half's header word; everything here is the client's (and,
+  // for fill_start/publish_time, the server's) private bookkeeping, which
+  // real hardware would keep in registers / its own stack.
+  struct StashPipe {
+    std::uint8_t active = 0;    // half the client pops from
+    std::uint8_t filling = 0;   // half the posted refill targets
+    bool in_flight = false;     // a kRefillStash is posted but not yet flipped
+    std::uint32_t want = 0;     // blocks the posted refill asked for
+    // The client's register-resident entry counts, one per half (the
+    // thread-cache idiom: counts live in thread-local registers, the stash
+    // line holds only block pointers). Authoritative for every half the
+    // client owns; for the filling half while a refill is in flight the
+    // count is the server's to publish, and the client refreshes this
+    // mirror from the acquire-read of the header at flip time. The header
+    // word in simulated memory is written only at protocol boundaries
+    // (publish, sync seed, flush), never per pop or per recycle.
+    std::uint32_t count[2] = {0, 0};
+    // Entries in the client-only spill stack behind the halves (see
+    // SpillAddr); always client-owned, count lives here.
+    std::uint32_t spill = 0;
+    std::uint64_t expected_seq = 0;  // publish-word value that commits the fill
+    std::uint64_t post_time = 0;     // client clock at the doorbell
+    std::uint64_t fill_start = 0;    // server clock when the fill began
+    std::uint64_t publish_time = 0;  // server clock at the release-store
+  };
+
+  // Pipelined slot layout: two halves of ONE cache line each,
+  //   [w0: fill_seq<<32 | count][entry 0]...[entry kPipeHalfCap-1]
+  // w0 doubles as the seqlock publish word: the server writes the entries,
+  // then release-stores w0 with the new sequence and count, so a whole
+  // refill batch costs the client exactly one line transfer -- the flip's
+  // acquire-read pulls the line every subsequent pop hits. Halves are on
+  // disjoint lines, so a server fill of the inactive half never bounces the
+  // line the client is popping from (or recycling frees into).
+  static constexpr std::uint32_t kPipeHalfCap = 7;  // 8 words = 64 bytes
+  Addr HalfAddr(int core, std::uint32_t cls, int half) const {
+    return stash_base_ + stash_stride_ * static_cast<std::uint64_t>(core) +
+           stash_slot_ * cls + stash_half_bytes_ * static_cast<std::uint64_t>(half);
+  }
+  // Client-only spill stack behind the two halves: recycled frees that do
+  // not fit the active half stay HERE -- on lines only this client ever
+  // touches -- instead of riding the ring to the server, and pop back LIFO
+  // when the active half runs dry (mimalloc's thread-cache retention, which
+  // the two line-sized halves alone are too shallow to provide during free
+  // bursts). Holds stash_capacity - 2*kPipeHalfCap entries (0 when the
+  // configured capacity fits inside the halves).
+  Addr SpillAddr(int core, std::uint32_t cls, std::uint32_t index) const {
+    return HalfAddr(core, cls, 0) + 2 * stash_half_bytes_ +
+           8 * static_cast<std::uint64_t>(index);
+  }
+  StashPipe& Pipe(int core, std::uint32_t cls) {
+    return pipes_[static_cast<std::size_t>(core) * classes_.num_classes() + cls];
+  }
+  // Pops the top of the ACTIVE half: ONE timed load (the top entry; the
+  // count lives in the StashPipe register mirror, and the entry load hits
+  // the line the flip's acquire already pulled). `remaining` gets the
+  // post-pop count.
+  bool StashPopActive(Env& env, int core, std::uint32_t cls, Addr* out,
+                      std::uint64_t* remaining);
+  // Free fast path: pushes a just-freed block of `cls` back onto the ACTIVE
+  // half when it has room. The block never leaves the client -- no ring
+  // entry, no server work, and the next malloc of `cls` reuses it while its
+  // data lines are still in this core's cache (depth-1 LIFO, the same reuse
+  // locality the synchronous path gets from the server's free stacks).
+  bool StashRecycle(Env& env, int core, std::uint32_t cls, Addr addr);
+
+  // Client fast path when the pipeline is on: pop the active half, post a
+  // refill at the mark, flip to the published half when the active one runs
+  // dry, and fall back to the sync kMallocBatch round trip only when cold.
+  Addr PipelinedMalloc(Env& env, std::uint64_t size, std::uint32_t cls, bool rec,
+                       std::uint64_t t0);
+  // Posts kRefillStash for (core, cls) if the active half just drained to
+  // `remaining` <= the refill mark, no refill is in flight, and the
+  // predictor is warm.
+  void MaybePostRefill(Env& env, std::uint32_t cls, std::uint64_t remaining);
+  // Consumes the published fill: waits out any remaining server time,
+  // acquire-reads the filled half's header (the one guaranteed line
+  // transfer, which also warms the line every subsequent pop hits), swaps
+  // halves.
+  void FlipStash(Env& env, int core, std::uint32_t cls);
+  // Server side of OffloadOp::kRefillStash: fill the client's inactive half
+  // and publish with a release-store of the expected sequence number.
+  std::uint64_t HandleRefillStash(Env& server_env, int shard, int client,
+                                  std::uint64_t arg);
 
   // Host-side class of `size` for routing/stash decisions; sizes above the
   // class table map to the (otherwise unused) num_classes bucket.
@@ -178,7 +301,11 @@ class NgxAllocator : public Allocator {
       alloc_core_[addr] = core;
     }
   }
-  void ClassifyFree(Addr addr, int core);
+  // Drops `addr` from the alloc-site map; counts locality only when `rec`.
+  // Called whenever the map is non-empty -- not just while recording -- so
+  // blocks noted while telemetry was on cannot linger after it is disabled
+  // (the map must drain to empty once every live block is freed).
+  void ClassifyFree(Addr addr, int core, bool rec);
 
   Machine* machine_;
   NgxConfig config_;
@@ -197,6 +324,7 @@ class NgxAllocator : public Allocator {
   std::uint64_t rebalance_moves_ = 0;
   std::uint64_t inline_fallbacks_ = 0;
   std::vector<int> idle_hook_ids_;   // machine idle hooks to remove at teardown
+  std::vector<int> timer_hook_ids_;  // machine timer hooks (watermark_timer_cycles)
   OffloadFabric* fabric_;
   std::optional<AllocationPredictor> predictor_;
   std::unique_ptr<PageProvider> stash_provider_;
@@ -205,6 +333,18 @@ class NgxAllocator : public Allocator {
   std::uint64_t stash_slot_ = 0;
   std::uint64_t stash_hits_ = 0;
   std::uint64_t sync_mallocs_ = 0;
+  bool pipeline_ = false;            // double-buffered stash refills active
+  std::uint64_t stash_half_bytes_ = 0;  // one cache line per half
+  std::uint32_t pipe_cap_ = 0;       // min(stash_capacity, kPipeHalfCap)
+  std::uint32_t spill_depth_ = 0;    // stash_capacity beyond the two halves
+  std::vector<StashPipe> pipes_;     // (core, class) pipeline state
+  std::uint64_t stash_refills_ = 0;
+  std::uint64_t refill_blocks_ = 0;
+  std::uint64_t stash_flips_ = 0;
+  std::uint64_t refill_overlap_cycles_ = 0;
+  std::uint64_t stash_starvation_stalls_ = 0;
+  std::uint64_t recycled_frees_ = 0;
+  std::uint64_t stash_local_flips_ = 0;
   std::unique_ptr<PageProvider> freebuf_provider_;  // free_batch > 1 only
   Addr freebuf_base_ = 0;
   std::uint64_t freebuf_stride_ = 0;  // per client core
@@ -226,6 +366,11 @@ class NgxAllocator : public Allocator {
   Counter* c_rebalance_moves_ = nullptr;
   Counter* c_returned_spans_ = nullptr;
   Counter* c_inline_fallbacks_ = nullptr;
+  Counter* c_stash_refills_ = nullptr;
+  Histogram* h_refill_batch_ = nullptr;   // blocks per background refill
+  Counter* c_refill_overlap_ = nullptr;
+  Counter* c_starvation_ = nullptr;
+  Counter* c_stash_recycles_ = nullptr;
   std::unordered_map<Addr, int> alloc_core_;  // live block -> obtaining core
 };
 

@@ -100,6 +100,14 @@ class SegregatedHeap : public ServerHeap {
     return classes_.SizeOf(tag - kTagClassBase);
   }
 
+  std::int64_t ClassifyForRecycle(Env& env, Addr addr) override {
+    const std::uint16_t tag = env.Load<std::uint16_t>(SpanTagAddr(SpanIndex(addr)));
+    if (tag < kTagClassBase) {
+      return -1;
+    }
+    return static_cast<std::int64_t>(tag - kTagClassBase);
+  }
+
   AllocatorStats stats() const override {
     AllocatorStats s = stats_;
     s.mapped_bytes = span_provider_.mapped_bytes() + meta_provider_.mapped_bytes();
@@ -293,6 +301,14 @@ class AggregatedHeap : public ServerHeap {
       return (header & ~kLargeFlag) - kSmallPageBytes;
     }
     return classes_.SizeOf(static_cast<std::uint32_t>(header));
+  }
+
+  std::int64_t ClassifyForRecycle(Env& env, Addr addr) override {
+    const std::uint64_t header = env.Load<std::uint64_t>(addr - 8);
+    if (header & kLargeFlag) {
+      return -1;
+    }
+    return static_cast<std::int64_t>(static_cast<std::uint32_t>(header));
   }
 
   AllocatorStats stats() const override {

@@ -28,6 +28,13 @@ class ServerHeap {
   virtual Addr Malloc(Env& env, std::uint64_t size) = 0;
   virtual void Free(Env& env, Addr addr) = 0;
   virtual std::uint64_t UsableSize(Env& env, Addr addr) = 0;
+  // Size class of a live small block, or -1 for large mappings. Unlike every
+  // other method this one is issued by CLIENT cores (the stash recycle fast
+  // path, DESIGN.md §9): one timed load of read-mostly metadata -- the
+  // segregated span map is written only when a span is carved, so its few
+  // lines stay resident in client caches; the aggregated variant reads the
+  // block's inline header, a line the freeing client owns anyway.
+  virtual std::int64_t ClassifyForRecycle(Env& env, Addr addr) = 0;
   virtual AllocatorStats stats() const = 0;
   // The provider carving this heap's data window (spans and large regions).
   // The elastic fabric grafts donated span ranges onto it and observes its

@@ -29,10 +29,22 @@ enum class OffloadOp : std::uint64_t {
   kRequestSpans = 7,  // proactive refill pull: arg = (nspans << 8) | requester
   kOfferSpans = 8,    // surplus push, ownership already moved: arg = base | nspans
   kReturnSpan = 9,    // recycled spans flowing home, ditto: arg = base | nspans
+  // Stash pipeline (DESIGN.md §9): non-blocking request to fill the client's
+  // inactive stash half, riding the async ring as a tagged entry.
+  // arg = (cls << 24) | (want << 8) | half.
+  kRefillStash = 10,
 };
 
 // One past the largest opcode (sizes per-op telemetry tables).
-inline constexpr int kOffloadOpCount = 10;
+inline constexpr int kOffloadOpCount = 11;
+
+// Async ring entries are tagged in their top byte. Tag 0 is a plain kFree
+// address (the historical encoding, byte-for-byte unchanged); any other tag
+// is the OffloadOp the entry carries, with its argument in the low 56 bits.
+inline constexpr std::uint64_t kRingArgMask = (1ull << 56) - 1;
+inline constexpr std::uint64_t RingEntryWord(OffloadOp op, std::uint64_t arg) {
+  return (static_cast<std::uint64_t>(op) << 56) | arg;
+}
 
 // Layout of one client's channel block (kChannelStride bytes):
 //   +0    request line:  req_seq|op (one word, Code 1's single flag), arg
@@ -102,6 +114,26 @@ class Channel {
       env.Store<std::uint64_t>(EntryAddr(head + i), values[i]);
     }
     env.AtomicStore(base_ + kRingHeadOff, head + n);
+  }
+
+  // Enqueue for a producer that keeps its own head index in a register (the
+  // standard SPSC producer idiom, DESIGN.md §9): n entry stores plus the
+  // release-store of the advanced head, no index loads at all. Caller owns
+  // the head (it is the ring's only writer) and must have checked space
+  // against its cached view of the tail.
+  void RingPushAt(Env& env, std::uint64_t head, const std::uint64_t* values,
+                  std::uint32_t n) {
+    assert(n > 0 && n <= ring_capacity_);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      env.Store<std::uint64_t>(EntryAddr(head + i), values[i]);
+    }
+    env.AtomicStore(base_ + kRingHeadOff, head + n);
+  }
+
+  // Consumer index alone: a cached-index producer re-reads the tail line
+  // only when its cached copy says the ring is full.
+  std::uint64_t RingTail(Env& env) {
+    return env.Load<std::uint64_t>(base_ + kRingTailOff);
   }
 
   // ---- server side ----

@@ -29,6 +29,8 @@ const char* OpName(OffloadOp op) {
       return "offer_spans";
     case OffloadOp::kReturnSpan:
       return "return_span";
+    case OffloadOp::kRefillStash:
+      return "refill_stash";
   }
   return "unknown";
 }
@@ -52,6 +54,29 @@ OffloadEngine::OffloadEngine(Machine& machine, int server_core, Addr channel_bas
                            ring_capacity);
   }
   seq_.assign(n, 0);
+  prod_cache_.assign(static_cast<std::size_t>(n), ProducerIndexCache{});
+}
+
+std::uint64_t OffloadEngine::CachedPushReserve(Env& client_env, int client,
+                                               std::uint32_t n) {
+  Channel& ch = channels_[client];
+  ProducerIndexCache& pc = prod_cache_[static_cast<std::size_t>(client)];
+  std::uint64_t occupancy = pc.head - pc.cached_tail;
+  if (occupancy + n > ch.ring_capacity()) {
+    // The cached tail says the ring is full -- but it only ever lags the
+    // real tail, so refresh it (this is the one timed read of the
+    // server-written tail line) before concluding backpressure is real.
+    pc.cached_tail = ch.RingTail(client_env);
+    occupancy = pc.head - pc.cached_tail;
+    if (occupancy + n > ch.ring_capacity()) {
+      StallOnFullRing(client_env, client);
+      // The stall's drain emptied this client's ring; the re-read models the
+      // producer's spin loop observing the tail catch up.
+      pc.cached_tail = ch.RingTail(client_env);
+      occupancy = pc.head - pc.cached_tail;
+    }
+  }
+  return occupancy;
 }
 
 void OffloadEngine::BindInstruments() {
@@ -60,7 +85,8 @@ void OffloadEngine::BindInstruments() {
   for (const OffloadOp op : {OffloadOp::kMalloc, OffloadOp::kFree, OffloadOp::kUsableSize,
                              OffloadOp::kFlush, OffloadOp::kMallocBatch,
                              OffloadOp::kDonateSpan, OffloadOp::kRequestSpans,
-                             OffloadOp::kOfferSpans, OffloadOp::kReturnSpan}) {
+                             OffloadOp::kOfferSpans, OffloadOp::kReturnSpan,
+                             OffloadOp::kRefillStash}) {
     h_sync_latency_[static_cast<int>(op)] =
         &m.GetHistogram("offload.sync_latency", {{"shard", shard}, {"op", OpName(op)}});
   }
@@ -76,8 +102,19 @@ void OffloadEngine::BindInstruments() {
 void OffloadEngine::DrainRing(Env& server_env, int client) {
   const std::uint64_t t0 = server_env.now();
   const std::uint32_t n =
-      channels_[client].ServerDrainRing(server_env, [&](std::uint64_t addr) {
-        server_->HandleRequest(server_env, client, OffloadOp::kFree, addr);
+      channels_[client].ServerDrainRing(server_env, [&](std::uint64_t entry) {
+        // Tag 0 = the historical raw-address kFree encoding; other tags carry
+        // the op in the top byte (currently only kRefillStash rides tagged).
+        const std::uint64_t tag = entry >> 56;
+        if (tag == 0) {
+          server_->HandleRequest(server_env, client, OffloadOp::kFree, entry);
+        } else {
+          if (static_cast<OffloadOp>(tag) == OffloadOp::kRefillStash) {
+            ++stats_.refill_ops;
+          }
+          server_->HandleRequest(server_env, client, static_cast<OffloadOp>(tag),
+                                 entry & kRingArgMask);
+        }
         ++stats_.async_ops;
       });
   if (n > 0 && Recording()) {
@@ -154,15 +191,41 @@ void OffloadEngine::AsyncRequest(Env& client_env, OffloadOp op, std::uint64_t ar
   assert(op == OffloadOp::kFree && "only frees are fire-and-forget");
   const int client = client_env.core_id();
   Channel& ch = channels_[client];
-  const std::uint64_t space = ch.RingSpace(client_env);
+  std::uint64_t occupancy;
+  if (producer_cache_) {
+    CachedPushReserve(client_env, client, 1);
+    ProducerIndexCache& pc = prod_cache_[static_cast<std::size_t>(client)];
+    // The eager-drain policy below is the SERVER noticing its ring filling
+    // during its poll loop, so it keys off the true occupancy -- an untimed
+    // host read standing in for the server's own polling (whose timed reads
+    // happen inside DrainRing) -- not the producer's deliberately stale view.
+    occupancy = pc.head - machine_->memory().Read<std::uint64_t>(ch.base() + kRingTailOff);
+    ch.RingPushAt(client_env, pc.head, &arg0, 1);
+    ++pc.head;
+  } else {
+    const std::uint64_t space = ch.RingSpace(client_env);
+    occupancy = ch.ring_capacity() - space;
+    if (space == 0) {
+      StallOnFullRing(client_env, client);
+    }
+    ch.RingPush(client_env, arg0);
+  }
   if (Recording()) {
-    h_ring_occupancy_->Record(ch.ring_capacity() - space);
+    h_ring_occupancy_->Record(occupancy);
   }
-  if (space == 0) {
-    StallOnFullRing(client_env, client);
-  }
-  ch.RingPush(client_env, arg0);
   ++stats_.ring_doorbells;
+  if (eager_drain_at_ > 0 && occupancy + 1 >= eager_drain_at_) {
+    // The spinning server notices the filling ring and drains it in the
+    // background on its own clock -- the client walks away after the push.
+    Core& server = machine_->core(server_core_);
+    server.AdvanceTo(client_env.now());
+    Env server_env = ServerEnv();
+    server_env.Work(poll_work_);
+    DrainRing(server_env, client);
+    if (post_drain_hook_) {
+      post_drain_hook_(server_env);
+    }
+  }
 }
 
 void OffloadEngine::AsyncRequestBatch(Env& client_env, const std::uint64_t* addrs,
@@ -172,17 +235,78 @@ void OffloadEngine::AsyncRequestBatch(Env& client_env, const std::uint64_t* addr
             "async batch cannot exceed the ring capacity");
   const int client = client_env.core_id();
   Channel& ch = channels_[client];
-  const std::uint64_t space = ch.RingSpace(client_env);
+  std::uint64_t occupancy;
+  if (producer_cache_) {
+    CachedPushReserve(client_env, client, n);
+    ProducerIndexCache& pc = prod_cache_[static_cast<std::size_t>(client)];
+    occupancy = pc.head - machine_->memory().Read<std::uint64_t>(ch.base() + kRingTailOff);
+    ch.RingPushAt(client_env, pc.head, addrs, n);
+    pc.head += n;
+  } else {
+    const std::uint64_t space = ch.RingSpace(client_env);
+    occupancy = ch.ring_capacity() - space;
+    if (space < n) {
+      // A stall fully drains this client's ring, so one round always frees
+      // enough slots (n <= capacity).
+      StallOnFullRing(client_env, client);
+    }
+    ch.RingPushN(client_env, addrs, n);
+  }
   if (Recording()) {
-    h_ring_occupancy_->Record(ch.ring_capacity() - space);
+    h_ring_occupancy_->Record(occupancy);
   }
-  if (space < n) {
-    // A stall fully drains this client's ring, so one round always frees
-    // enough slots (n <= capacity).
-    StallOnFullRing(client_env, client);
-  }
-  ch.RingPushN(client_env, addrs, n);
   ++stats_.ring_doorbells;
+  if (eager_drain_at_ > 0 && occupancy + n >= eager_drain_at_) {
+    Core& server = machine_->core(server_core_);
+    server.AdvanceTo(client_env.now());
+    Env server_env = ServerEnv();
+    server_env.Work(poll_work_);
+    DrainRing(server_env, client);
+    if (post_drain_hook_) {
+      post_drain_hook_(server_env);
+    }
+  }
+}
+
+std::uint64_t OffloadEngine::AsyncRequestKicked(Env& client_env, OffloadOp op,
+                                                std::uint64_t arg) {
+  assert(server_ != nullptr);
+  NGX_CHECK((arg & ~kRingArgMask) == 0, "tagged ring arg must leave the top byte free");
+  const int client = client_env.core_id();
+  Channel& ch = channels_[client];
+  std::uint64_t occupancy;
+  if (producer_cache_) {
+    occupancy = CachedPushReserve(client_env, client, 1);
+    ProducerIndexCache& pc = prod_cache_[static_cast<std::size_t>(client)];
+    const std::uint64_t entry = RingEntryWord(op, arg);
+    ch.RingPushAt(client_env, pc.head, &entry, 1);
+    ++pc.head;
+  } else {
+    const std::uint64_t space = ch.RingSpace(client_env);
+    occupancy = ch.ring_capacity() - space;
+    if (space == 0) {
+      StallOnFullRing(client_env, client);
+    }
+    ch.RingPush(client_env, RingEntryWord(op, arg));
+  }
+  if (Recording()) {
+    h_ring_occupancy_->Record(occupancy);
+  }
+  ++stats_.ring_doorbells;
+  // The kick: the server consumes the doorbell in its drain window on its
+  // own clock. Service starts no earlier than the doorbell store, but the
+  // client is NOT advanced to the server's finish -- the whole service
+  // overlaps with the client's subsequent work, which is the point of the
+  // stash pipeline.
+  Core& server = machine_->core(server_core_);
+  server.AdvanceTo(client_env.now());
+  Env server_env = ServerEnv();
+  server_env.Work(poll_work_);
+  DrainRing(server_env, client);
+  if (post_drain_hook_) {
+    post_drain_hook_(server_env);
+  }
+  return server_env.now();
 }
 
 void OffloadEngine::StallOnFullRing(Env& client_env, int client) {

@@ -37,6 +37,9 @@ struct OffloadEngineStats {
   // Release-stores of a ring head (one per RingPush / per RingPushN batch):
   // the cache-line transfers batched frees exist to amortize.
   std::uint64_t ring_doorbells = 0;
+  // Tagged kRefillStash entries served out of drained rings (the stash
+  // pipeline's background refills; a subset of async_ops).
+  std::uint64_t refill_ops = 0;
 };
 
 class OffloadEngine {
@@ -60,6 +63,15 @@ class OffloadEngine {
   // (RingPushN). Stalls like AsyncRequest when the ring lacks space.
   void AsyncRequestBatch(Env& client_env, const std::uint64_t* addrs, std::uint32_t n);
 
+  // Non-blocking tagged request (the stash pipeline's kRefillStash): pushes
+  // one tagged entry on the client's ring, then serves the ring in the
+  // server's drain window -- on the server's OWN clock, starting no earlier
+  // than the doorbell store, WITHOUT advancing the client to the server's
+  // finish. The service overlaps with whatever the client does next; callers
+  // observe completion through state the server handler publishes (the stash
+  // publish word). Returns the server clock after the drain.
+  std::uint64_t AsyncRequestKicked(Env& client_env, OffloadOp op, std::uint64_t arg);
+
   // Processes every pending async entry of every client on the server core.
   void DrainAll();
 
@@ -82,6 +94,25 @@ class OffloadEngine {
     post_drain_hook_ = std::move(hook);
   }
 
+  // Background drain threshold: when > 0 and a RingPush leaves at least this
+  // many entries pending, the spinning server drains the ring on its OWN
+  // clock (an AsyncRequestKicked-style kick, no client stall) instead of
+  // letting it fill to the StallOnFullRing backpressure point. Models the
+  // server noticing a filling ring during its poll loop. 0 (default) keeps
+  // the historical stall-only behaviour bit-identical.
+  void set_eager_drain_at(std::uint32_t n) { eager_drain_at_ = n; }
+
+  // Producer-side index cache (the standard SPSC ring idiom; DESIGN.md §9):
+  // each client keeps its own head index plus a cached copy of the server's
+  // tail in registers, so a push is just the entry store and the head
+  // release-store. The tail line -- which the server rewrites on every drain
+  // and would otherwise transfer back on every occupancy check -- is
+  // re-read only when the cached copy says the ring is full (at most one
+  // stale-full false positive per capacity pushes, since the real tail only
+  // ever advances). Off by default; the stash pipeline enables it, and the
+  // non-pipelined protocol stays byte-for-byte identical to the seed.
+  void set_producer_index_cache(bool on) { producer_cache_ = on; }
+
  private:
   Env ServerEnv() { return Env(*machine_, server_core_); }
   void DrainRing(Env& server_env, int client);
@@ -100,11 +131,26 @@ class OffloadEngine {
     return true;
   }
 
+  // Per-client producer registers (host-side mirrors of simulated state; see
+  // set_producer_index_cache). `head` shadows the value the client last
+  // release-stored; `cached_tail` lags the server's true tail, which is safe
+  // because a stale tail only UNDER-estimates free space, never over.
+  struct ProducerIndexCache {
+    std::uint64_t head = 0;
+    std::uint64_t cached_tail = 0;
+  };
+  // Space check + stale-tail refresh + stall for an n-entry cached push;
+  // returns the pre-push ring occupancy from the producer's view.
+  std::uint64_t CachedPushReserve(Env& client_env, int client, std::uint32_t n);
+
   Machine* machine_;
   int server_core_;
   int shard_id_ = 0;
   OffloadServer* server_ = nullptr;
   std::uint32_t poll_work_ = 6;
+  std::uint32_t eager_drain_at_ = 0;
+  bool producer_cache_ = false;
+  std::vector<ProducerIndexCache> prod_cache_;  // one per client core
   std::vector<Channel> channels_;
   std::vector<std::uint64_t> seq_;  // per-client request sequence numbers
   OffloadEngineStats stats_;

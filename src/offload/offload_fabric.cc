@@ -72,6 +72,14 @@ void OffloadFabric::AsyncRequestBatch(Env& client_env, int s, const std::uint64_
   RecordQueueDepth(client_env, s);
 }
 
+std::uint64_t OffloadFabric::AsyncRequestKicked(Env& client_env, int s, OffloadOp op,
+                                                std::uint64_t arg) {
+  ++async_enqueued_[static_cast<std::size_t>(s)];
+  const std::uint64_t t = shard(s).AsyncRequestKicked(client_env, op, arg);
+  RecordQueueDepth(client_env, s);
+  return t;
+}
+
 void OffloadFabric::RecordQueueDepth(Env& client_env, int s) {
   // Queue depth behind shard s's server, sampled at every enqueue. Purely
   // observational: reads the enqueue/drain counters and the client clock.
@@ -106,6 +114,7 @@ OffloadEngineStats OffloadFabric::TotalStats() const {
     total.ring_full_stalls += e->stats().ring_full_stalls;
     total.server_busy_waits += e->stats().server_busy_waits;
     total.ring_doorbells += e->stats().ring_doorbells;
+    total.refill_ops += e->stats().refill_ops;
   }
   return total;
 }

@@ -59,6 +59,22 @@ class OffloadFabric {
   // Applies the poll-loop overhead knob to every shard.
   void set_poll_work(std::uint32_t n);
 
+  // Applies the background ring-drain threshold to every shard (see
+  // OffloadEngine::set_eager_drain_at; 0 = historical stall-only behaviour).
+  void set_eager_drain_at(std::uint32_t n) {
+    for (auto& e : engines_) {
+      e->set_eager_drain_at(n);
+    }
+  }
+
+  // Enables the producer-side ring index cache on every shard (see
+  // OffloadEngine::set_producer_index_cache; off keeps the seed protocol).
+  void set_producer_index_cache(bool on) {
+    for (auto& e : engines_) {
+      e->set_producer_index_cache(on);
+    }
+  }
+
   // Policy decision for a malloc: which shard serves (client, size, class).
   // Host-side only; charges no simulated time.
   int RouteMalloc(int client, std::uint64_t size, std::uint32_t size_class);
@@ -71,6 +87,13 @@ class OffloadFabric {
   // Batched frees to shard s: all entries share one ring doorbell.
   void AsyncRequestBatch(Env& client_env, int s, const std::uint64_t* addrs,
                          std::uint32_t n);
+
+  // Non-blocking tagged op to shard s, served eagerly in the shard's drain
+  // window on its own clock (the stash pipeline's kRefillStash; see
+  // OffloadEngine::AsyncRequestKicked). Returns the shard clock after the
+  // drain.
+  std::uint64_t AsyncRequestKicked(Env& client_env, int s, OffloadOp op,
+                                   std::uint64_t arg);
 
   // Drains every client ring of every shard on the shards' server cores.
   void DrainAll();

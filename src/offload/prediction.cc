@@ -31,6 +31,20 @@ std::uint32_t AllocationPredictor::OnMallocMiss(int client, std::uint32_t cls) {
   return batch >= 4 ? batch : 0;
 }
 
+std::uint32_t AllocationPredictor::RefillSize(int client, std::uint32_t cls,
+                                              std::uint32_t cap) const {
+  const std::uint32_t run = At(client, cls).run_len;
+  if (run < 2) {
+    return 0;
+  }
+  return std::min<std::uint32_t>(cap, 4u << std::min<std::uint32_t>(run, 8));
+}
+
+void AllocationPredictor::OnStashRefill(int client, std::uint32_t cls) {
+  ++At(client, cls).run_len;
+  last_cls_[static_cast<std::size_t>(client)] = cls;
+}
+
 std::uint32_t AllocationPredictor::RunLength(int client, std::uint32_t cls) const {
   return At(client, cls).run_len;
 }

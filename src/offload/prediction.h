@@ -22,6 +22,18 @@ class AllocationPredictor {
   // blocks the server should prefetch into the client stash (0 = none).
   std::uint32_t OnMallocMiss(int client, std::uint32_t cls);
 
+  // Pipelined refill sizing (DESIGN.md §9): how many blocks a background
+  // kRefillStash should bring, capped at `cap` (the stash half's capacity).
+  // Unlike the one-shot sync batch, an overlapped fill costs the client
+  // nothing, so the ramp reaches the cap quickly once a run is established;
+  // 0 means the stream is too cold to justify a background batch.
+  std::uint32_t RefillSize(int client, std::uint32_t cls, std::uint32_t cap) const;
+
+  // Notes that a refill was posted for (client, cls): a drained stash half
+  // is itself evidence of a sustained same-class run, so confidence grows
+  // even though the hits never reach the server as misses.
+  void OnStashRefill(int client, std::uint32_t cls);
+
   // Cross-checks: how confident are we about this stream right now.
   std::uint32_t RunLength(int client, std::uint32_t cls) const;
 

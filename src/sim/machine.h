@@ -8,6 +8,7 @@
 #ifndef NGX_SRC_SIM_MACHINE_H_
 #define NGX_SRC_SIM_MACHINE_H_
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -128,6 +129,43 @@ class Machine {
     }
   }
 
+  // ---- Periodic timer hooks ----
+  // Idle hooks only fire for cores strictly behind the running thread, so a
+  // core whose clock runs AHEAD of every runnable thread (e.g. a shard
+  // server that just served a burst) gets no idle window, however starved
+  // its background work is. A timer hook fires whenever virtual time passes
+  // its next due point -- on the core's own clock if the core got there, or
+  // on the scheduler's horizon if the core is lagging (the core is pulled up
+  // to the due point first, as a real timer interrupt would wake it). Like
+  // idle hooks: none registered = zero overhead, bit-identical runs.
+  int AddTimerHook(int core_id, std::uint64_t period_cycles, std::function<void()> hook) {
+    timer_hooks_.push_back(TimerHook{next_timer_hook_id_, core_id, period_cycles,
+                                     core(core_id).now() + period_cycles, std::move(hook)});
+    return next_timer_hook_id_++;
+  }
+  void RemoveTimerHook(int id) {
+    for (std::size_t i = 0; i < timer_hooks_.size(); ++i) {
+      if (timer_hooks_[i].id == id) {
+        timer_hooks_.erase(timer_hooks_.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+  bool has_timer_hooks() const { return !timer_hooks_.empty(); }
+  // Fires every hook whose due point has been reached by its core's clock or
+  // by `horizon` (the scheduler's current virtual time front). Catches up
+  // period by period so a long gap fires each missed tick, not just one.
+  void RunTimerHooks(std::uint64_t horizon) {
+    for (std::size_t i = 0; i < timer_hooks_.size(); ++i) {
+      TimerHook& t = timer_hooks_[i];
+      while (core(t.core_id).now() >= t.next_due || horizon >= t.next_due) {
+        core(t.core_id).AdvanceTo(t.next_due);
+        t.fn();
+        t.next_due = std::max(t.next_due, core(t.core_id).now()) + t.period;
+      }
+    }
+  }
+
   // ---- Test/diagnostic hooks ----
   // Which core (if any) holds `line` modified in its private caches.
   int OwnerOf(Addr line) const;
@@ -145,6 +183,13 @@ class Machine {
   struct IdleHook {
     int id;
     int core_id;
+    std::function<void()> fn;
+  };
+  struct TimerHook {
+    int id;
+    int core_id;
+    std::uint64_t period;
+    std::uint64_t next_due;
     std::function<void()> fn;
   };
 
@@ -187,6 +232,8 @@ class Machine {
   std::vector<std::uint64_t> next_pmu_snapshot_;  // per core, in cycles
   std::vector<IdleHook> idle_hooks_;
   int next_idle_hook_id_ = 0;
+  std::vector<TimerHook> timer_hooks_;
+  int next_timer_hook_id_ = 0;
 };
 
 }  // namespace ngx

@@ -30,6 +30,12 @@ void Scheduler::Run(Machine& machine, const std::vector<SimThread*>& threads,
     if (machine.has_idle_hooks()) {
       machine.RunIdleHooks(best);
     }
+    // Periodic timers fire once the virtual-time front passes their due
+    // point -- including on cores ahead of every runnable thread, which the
+    // idle-hook window can never reach.
+    if (machine.has_timer_hooks()) {
+      machine.RunTimerHooks(best);
+    }
     Env env(machine, threads[pick]->core_id());
     if (!threads[pick]->Step(env)) {
       done[pick] = true;

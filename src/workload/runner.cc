@@ -58,6 +58,10 @@ RunResult RunWorkload(Machine& machine, Allocator& alloc, Workload& workload,
     result.rebalance_moves = m.CounterTotal("ngx.rebalance_moves", {});
     result.returned_spans = m.CounterTotal("ngx.returned_spans", {});
     result.inline_donation_fallbacks = m.CounterTotal("ngx.inline_donation_fallbacks", {});
+    result.stash_refills = m.CounterTotal("ngx.stash_refills", {});
+    result.refill_overlap_cycles = m.CounterTotal("ngx.refill_overlap_cycles", {});
+    result.stash_starvation_stalls = m.CounterTotal("ngx.stash_starvation_stalls", {});
+    result.stash_recycles = m.CounterTotal("ngx.stash_recycles", {});
   }
   return result;
 }

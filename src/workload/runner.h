@@ -40,6 +40,14 @@ struct RunResult {
   std::uint64_t rebalance_moves = 0;
   std::uint64_t returned_spans = 0;
   std::uint64_t inline_donation_fallbacks = 0;
+  // Stash pipeline digests (telemetry-enabled runs only; DESIGN.md §9):
+  // background refills served, server fill cycles hidden behind client work,
+  // half-flips that stalled because the client outran the server, and frees
+  // recycled straight into the client's stash (never reached the server).
+  std::uint64_t stash_refills = 0;
+  std::uint64_t refill_overlap_cycles = 0;
+  std::uint64_t stash_starvation_stalls = 0;
+  std::uint64_t stash_recycles = 0;
 
   // Fraction of application-core cycles spent inside allocator code.
   double MallocTimeShare() const { return app.AllocCycleShare(); }

@@ -145,6 +145,61 @@ TEST_P(SeedSweepTest, FreeBatchChangesOnlyTheDoorbellCount) {
   EXPECT_GT(b1.doorbells, b8.doorbells) << "batching must amortize doorbells";
 }
 
+// ---- Stash pipeline determinism ----
+//
+// The pipelined stash adds client/server overlap bookkeeping (kicked ring
+// drains on the server's own clock, seqlock publishes, register-resident
+// count mirrors, the producer-side ring index cache): the newest candidate
+// source of nondeterminism. Two identical pipeline-on runs must agree on
+// every PMU stream, clock, and protocol counter.
+TEST_P(SeedSweepTest, StashPipelineDeterministicPerSeed) {
+  struct PipeRun {
+    RunResult r;
+    std::uint64_t refills, flips, stalls, recycles, syncs;
+  };
+  auto run = [&] {
+    Machine machine(MachineConfig::Default(3));
+    NgxConfig cfg;
+    cfg.prediction = true;
+    cfg.stash_pipeline = true;
+    NgxSystem sys = MakeNgxSystem(machine, cfg, 2);
+    ChurnConfig wl;
+    wl.live_blocks = 120;
+    wl.ops = 1200;
+    Churn workload(wl);
+    RunOptions opt;
+    opt.cores = {0, 1};
+    opt.server_cores = {2};
+    opt.seed = GetParam();
+    PipeRun out{RunWorkload(machine, *sys.allocator, workload, opt), 0, 0, 0, 0, 0};
+    sys.fabric->DrainAll();
+    out.refills = sys.allocator->stash_refills();
+    out.flips = sys.allocator->stash_flips();
+    out.stalls = sys.allocator->stash_starvation_stalls();
+    out.recycles = sys.allocator->stash_recycled_frees();
+    out.syncs = sys.allocator->sync_mallocs();
+    return out;
+  };
+  const PipeRun a = run();
+  const PipeRun b = run();
+  EXPECT_EQ(a.r.wall_cycles, b.r.wall_cycles);
+  EXPECT_EQ(a.r.app.cycles, b.r.app.cycles);
+  EXPECT_EQ(a.r.app.instructions, b.r.app.instructions);
+  EXPECT_EQ(a.r.app.llc_load_misses, b.r.app.llc_load_misses);
+  EXPECT_EQ(a.r.app.llc_store_misses, b.r.app.llc_store_misses);
+  EXPECT_EQ(a.r.app.dtlb_load_misses, b.r.app.dtlb_load_misses);
+  EXPECT_EQ(a.r.app.remote_hitm, b.r.app.remote_hitm);
+  EXPECT_EQ(a.r.server.cycles, b.r.server.cycles);
+  EXPECT_EQ(a.r.server.llc_load_misses, b.r.server.llc_load_misses);
+  EXPECT_EQ(a.refills, b.refills) << "background refill stream must replay exactly";
+  EXPECT_EQ(a.flips, b.flips);
+  EXPECT_EQ(a.stalls, b.stalls);
+  EXPECT_EQ(a.recycles, b.recycles);
+  EXPECT_EQ(a.syncs, b.syncs);
+  EXPECT_EQ(a.r.alloc_stats.mallocs, b.r.alloc_stats.mallocs);
+  EXPECT_EQ(a.r.alloc_stats.frees, b.r.alloc_stats.frees);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
                          ::testing::Values(1ull, 2ull, 42ull, 0xdeadbeefull, 123456789ull));
 

@@ -7,6 +7,7 @@
 #include "src/core/analytical_model.h"
 #include "src/core/nextgen_malloc.h"
 #include "src/offload/prediction.h"
+#include "src/telemetry/telemetry.h"
 #include "tests/test_util.h"
 
 namespace ngx {
@@ -150,6 +151,60 @@ TEST(NextGen, StashReturnsCorrectClassSizes) {
   }
   const Addr a = sys.allocator->Malloc(app, 97);
   EXPECT_GE(sys.allocator->UsableSize(app, a), 97u);
+}
+
+// The telemetry alloc-site map (live block -> obtaining core, the free
+// locality classifier's lookup table) must track app-level liveness exactly:
+// equal to the live set while recording, drained to empty once every block
+// is freed -- including blocks that bounced through the pipelined stash's
+// recycle path without ever reaching the server -- and never populated at
+// all when telemetry is off.
+TEST(NextGen, AllocSiteMapTracksLivenessAndDrainsToEmpty) {
+  auto machine = MakeMachine(3);
+  TelemetryConfig tc;
+  tc.enabled = true;
+  machine->EnableTelemetry(tc);
+  NgxConfig cfg;
+  cfg.prediction = true;
+  cfg.stash_pipeline = true;
+  NgxSystem sys = MakeNgxSystem(*machine, cfg, 2);
+  ShadowHeapExerciser ex(*machine, *sys.allocator, 99);
+  for (int round = 0; round < 3; ++round) {
+    for (int core = 0; core < 2; ++core) {
+      ex.Run(core, 400, 120, 1, 2048);
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+      EXPECT_EQ(sys.allocator->live_alloc_notes(), ex.live_count())
+          << "map diverged from the live set (round " << round << ")";
+    }
+  }
+  ex.FreeAll(0);
+  // Empty before Flush: stash-parked blocks are not app-live, so their
+  // notes must already be gone.
+  EXPECT_EQ(sys.allocator->live_alloc_notes(), 0u)
+      << "a freed block's note lingered (unbounded growth over churn)";
+  Env env(*machine, 0);
+  sys.allocator->Flush(env);
+  sys.fabric->DrainAll();
+  EXPECT_EQ(sys.allocator->live_alloc_notes(), 0u);
+}
+
+TEST(NextGen, AllocSiteMapStaysEmptyWithoutTelemetry) {
+  auto machine = MakeMachine(2);
+  NgxConfig cfg;
+  cfg.prediction = true;
+  NgxSystem sys = MakeNgxSystem(*machine, cfg, 1);
+  Env app(*machine, 0);
+  std::vector<Addr> blocks;
+  for (int i = 0; i < 200; ++i) {
+    blocks.push_back(sys.allocator->Malloc(app, 128));
+    EXPECT_EQ(sys.allocator->live_alloc_notes(), 0u);
+  }
+  for (const Addr a : blocks) {
+    sys.allocator->Free(app, a);
+  }
+  EXPECT_EQ(sys.allocator->live_alloc_notes(), 0u);
 }
 
 TEST(AnalyticalModel, ReproducesPaperNumbers) {

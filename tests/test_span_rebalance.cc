@@ -26,6 +26,7 @@
 #include "src/alloc/layout.h"
 #include "src/core/nextgen_malloc.h"
 #include "src/core/span_directory.h"
+#include "src/sim/scheduler.h"
 #include "src/workload/rng.h"
 #include "tests/test_util.h"
 
@@ -588,6 +589,124 @@ TEST(SpanRebalanceWatermark, ZeroLowMarkDisablesTheRebalancer) {
       << "without watermarks the inline path is the only donation source";
   EXPECT_EQ(sys.allocator->rebalance_moves(), 0u);
   EXPECT_EQ(sys.allocator->directory()->total_returned(), 0u);
+}
+
+// A compute-only thread: advances its core's clock through the scheduler
+// without ever touching the allocator (an application phase with no malloc
+// traffic, so no drains and no post-drain ticks).
+class ComputeOnlyThread : public SimThread {
+ public:
+  ComputeOnlyThread(int core, int steps) : core_(core), steps_(steps) {}
+  bool Step(Env& env) override {
+    env.Work(64);
+    return --steps_ > 0;
+  }
+  int core_id() const override { return core_; }
+
+ private:
+  int core_;
+  int steps_;
+};
+
+// The periodic timer's reason to exist (config.watermark_timer_cycles): the
+// other two tick paths both have a blind spot. Post-drain hooks need fabric
+// traffic; idle hooks only fire for cores strictly BEHIND the scheduler's
+// front. A shard server that just served a burst sits AHEAD of every
+// application core, so on a busy machine neither path reaches it, however
+// much background work (returns home, refills for a starved peer) is
+// pending. The timer bounds that wait to one period.
+//
+// Both variants construct the identical pending state with ZERO tick
+// activity left over (two spans donated over the wire, then marked consumed
+// and recycled host-side -- the protocol tests' idiom), park both shard
+// servers far ahead of the lone application core -- the served-a-burst
+// posture -- and run a pure-compute tail that only advances virtual time.
+// Without the timer the recycled away spans are stuck forever; with it they
+// flow home on the passage of time alone.
+TEST(SpanRebalanceWatermark, TimerReachesAShardTheIdleWindowCannotReach) {
+  constexpr std::uint64_t kPeriod = 50 * 1000;
+  auto setup = [](std::uint64_t timer_cycles, std::unique_ptr<Machine>* machine_out,
+                  NgxSystem* sys_out) {
+    auto machine = MakeMachine(3);
+    NgxConfig cfg = DonationOnlyConfig();
+    cfg.span_low_mark = 8;
+    cfg.span_high_mark = 16;
+    cfg.watermark_timer_cycles = timer_cycles;
+    NgxSystem sys = MakeNgxSystem(*machine, cfg);
+    ASSERT_TRUE(sys.allocator->rebalancing());
+    Env env(*machine, 0);
+    // Shard 0 pulls two spans from shard 1, maps and fully recycles them:
+    // a recycled away run that the return protocol must send home. Both
+    // free-span counts stay far from the marks, so the donor-side drain
+    // tick inside the SyncRequest has nothing to act on -- the pending
+    // return is created entirely after the last tick opportunity.
+    const std::uint64_t resp =
+        sys.fabric->SyncRequest(env, 1, OffloadOp::kRequestSpans, (2ull << 8) | 0);
+    ASSERT_NE(resp, 0u);
+    const Addr base = resp & ~0xffffull;
+    const std::uint64_t got = resp & 0xffff;
+    SpanDirectory& d = *sys.allocator->directory();
+    d.NoteMapped(0, base, got * kSpan);
+    d.NoteUnmapped(0, base, got * kSpan);
+    ASSERT_GT(d.away_spans(0), 0u);
+    *machine_out = std::move(machine);
+    *sys_out = std::move(sys);
+  };
+  // Timer hooks only fire from the scheduler, so the burst above is
+  // bit-identical in both variants: same pre-tail state to diverge from.
+  std::unique_ptr<Machine> m_off;
+  NgxSystem sys_off;
+  setup(0, &m_off, &sys_off);
+  std::unique_ptr<Machine> m_on;
+  NgxSystem sys_on;
+  setup(kPeriod, &m_on, &sys_on);
+  const SpanDirectory& d_off = *sys_off.allocator->directory();
+  const SpanDirectory& d_on = *sys_on.allocator->directory();
+  ASSERT_EQ(d_off.away_spans(0), d_on.away_spans(0));
+  int home = -1;
+  std::uint64_t n = 0;
+  const Addr stuck = d_on.FindRecycledAwayRun(0, 1, 16, kSpan, &home, &n);
+  ASSERT_NE(stuck, kNullAddr)
+      << "returns completed during the burst; nothing left for the tail";
+  ASSERT_EQ(d_off.FindRecycledAwayRun(0, 1, 16, kSpan, &home, &n), stuck);
+  const std::uint64_t moves_before = sys_off.allocator->rebalance_moves();
+  ASSERT_EQ(moves_before, sys_on.allocator->rebalance_moves());
+
+  // The quiescent tail. Each round re-parks the servers ahead (they are
+  // busy serving someone else) and advances the application core by less
+  // than the lead, so the idle-hook window never opens: every core the
+  // scheduler sees stays behind both servers throughout.
+  auto run_tail = [&](Machine& machine, int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      const std::uint64_t front = machine.core(0).now();
+      machine.core(1).AdvanceTo(front + 40 * kPeriod);
+      machine.core(2).AdvanceTo(front + 40 * kPeriod);
+      ComputeOnlyThread t(0, 400);
+      Scheduler::Run(machine, {&t});
+      ASSERT_LT(machine.core(0).now(), machine.core(1).now());
+      ASSERT_LT(machine.core(0).now(), machine.core(2).now());
+    }
+  };
+  run_tail(*m_off, 20);
+  if (::testing::Test::HasFatalFailure()) {
+    return;
+  }
+  // Without the timer: not one background move in 20 rounds of pure time.
+  EXPECT_EQ(sys_off.allocator->rebalance_moves(), moves_before);
+  EXPECT_EQ(d_off.FindRecycledAwayRun(0, 1, 16, kSpan, &home, &n), stuck);
+
+  run_tail(*m_on, 20);
+  if (::testing::Test::HasFatalFailure()) {
+    return;
+  }
+  // With it: the catch-up tick fires each round and the returns converge.
+  EXPECT_GT(sys_on.allocator->rebalance_moves(), moves_before);
+  EXPECT_EQ(d_on.FindRecycledAwayRun(0, 1, 16, kSpan, &home, &n), kNullAddr)
+      << "timer ticks never finished sending recycled away spans home";
+  EXPECT_EQ(d_on.away_spans(0), 0u);
+  EXPECT_EQ(d_on.free_spans(0), 64u) << "the home split must be restored";
+  EXPECT_EQ(d_on.free_spans(1), 64u);
+  AuditDirectoryConsistency(d_on);
 }
 
 // ---- TakeRecycled next-fit cursor regression ----
