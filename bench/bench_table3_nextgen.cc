@@ -113,6 +113,21 @@ int main(int argc, char** argv) {
   const std::uint64_t pipe_stalls = pipe_sys.allocator->stash_starvation_stalls();
   std::cerr << "[done] nextgen+pipeline\n";
 
+  // The prototype with the segment + slab carve path behind the shard
+  // (DESIGN.md §10): same protocol, same client behaviour, cheaper server
+  // ops. Runs on its own machine AFTER the paper rows so their numbers stay
+  // byte-for-byte what the seed produced.
+  Machine m_segm(Table3Machine());
+  NgxConfig segm_cfg = cfg;
+  segm_cfg.heap_kind = HeapKind::kSegment;
+  NgxSystem segm_sys = MakeNgxSystem(m_segm, segm_cfg, /*server_core=*/1);
+  XalancLike wl_segm(wl);
+  RunOptions opt_segm = opt_ngx;
+  const RunResult r_segm = RunWorkload(m_segm, *segm_sys.allocator, wl_segm, opt_segm);
+  segm_sys.fabric->DrainAll();
+  const std::uint64_t segm_carve = segm_sys.fabric->TotalStats().carve_cycles;
+  std::cerr << "[done] nextgen+segment-heap\n";
+
   TextTable t({"counter (app core)", "Mimalloc", "NextGen-Malloc"});
   auto row = [&](const std::string& label, auto getter) {
     t.AddRow({label, FormatSci(static_cast<double>(getter(r_mi.app))),
@@ -133,6 +148,8 @@ int main(int argc, char** argv) {
   const double ngx_cycles = static_cast<double>(r_ngx.wall_cycles);
   const double pred_cycles = static_cast<double>(r_pred.wall_cycles);
   const double pipe_cycles = static_cast<double>(r_pipe.wall_cycles);
+  const double segm_cycles = static_cast<double>(r_segm.wall_cycles);
+  const std::uint64_t base_carve = sys.fabric->TotalStats().carve_cycles;
   TextTable shape({"shape metric", "paper", "measured"});
   shape.AddRow({"NextGen speedup over Mimalloc", "+4.51%",
                 FormatFixed(100.0 * (mi_cycles / ngx_cycles - 1.0), 2) + "%"});
@@ -140,6 +157,8 @@ int main(int argc, char** argv) {
                 FormatFixed(100.0 * (mi_cycles / pred_cycles - 1.0), 2) + "%"});
   shape.AddRow({"  + pipelined stash refills", "(not in paper)",
                 FormatFixed(100.0 * (mi_cycles / pipe_cycles - 1.0), 2) + "%"});
+  shape.AddRow({"  + segment-heap carve path", "(not in paper)",
+                FormatFixed(100.0 * (mi_cycles / segm_cycles - 1.0), 2) + "%"});
   shape.AddRow({"dTLB-load misses reduced", "yes",
                 r_ngx.app.dtlb_load_misses < r_mi.app.dtlb_load_misses ? "yes" : "NO"});
   shape.AddRow({"LLC-load misses reduced", "yes",
@@ -147,6 +166,14 @@ int main(int argc, char** argv) {
   shape.AddRow({"LLC-store misses reduced", "yes",
                 r_ngx.app.llc_store_misses < r_mi.app.llc_store_misses ? "yes" : "NO"});
   std::cout << shape.ToString();
+
+  std::cout << "\nserver carve cycles (kMalloc/kFree handler time on the shard core):\n"
+            << "  segregated heap: " << FormatSci(static_cast<double>(base_carve))
+            << "\n  segment heap:    " << FormatSci(static_cast<double>(segm_carve))
+            << " (" << FormatFixed(100.0 * (1.0 - static_cast<double>(segm_carve) /
+                                                      static_cast<double>(base_carve)),
+                                   2)
+            << "% lower)\n";
 
   cli.Metric("mimalloc_wall_cycles", r_mi.wall_cycles);
   cli.Metric("nextgen_wall_cycles", r_ngx.wall_cycles);
@@ -159,6 +186,11 @@ int main(int argc, char** argv) {
   cli.Metric("pipeline_stash_refills", pipe_refills);
   cli.Metric("pipeline_starvation_stalls", pipe_stalls);
   cli.Metric("server_cycles", r_ngx.server.cycles);
+  cli.Metric("nextgen_segment_wall_cycles", r_segm.wall_cycles);
+  cli.Metric("nextgen_segment_speedup_pct", 100.0 * (mi_cycles / segm_cycles - 1.0));
+  cli.Metric("segment_server_cycles", r_segm.server.cycles);
+  cli.Metric("segregated_carve_cycles", base_carve);
+  cli.Metric("segment_carve_cycles", segm_carve);
   JsonValue counters = JsonValue::Object();
   counters.Set("mimalloc", PmuJson(r_mi.app));
   counters.Set("nextgen", PmuJson(r_ngx.app));

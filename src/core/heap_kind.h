@@ -1,0 +1,38 @@
+// HeapKind: which server-side heap layout a shard runs.
+//
+// Split out of server_heap.h so configuration structs (NgxConfig,
+// ServerHeapConfig) can name the selector without pulling in the heap
+// interface; everything layout-specific lives behind the ServerHeap factory.
+#ifndef NGX_SRC_CORE_HEAP_KIND_H_
+#define NGX_SRC_CORE_HEAP_KIND_H_
+
+namespace ngx {
+
+enum class HeapKind {
+  // Figure 2's segregated layout: 16-bit span class tags + per-class address
+  // stacks in dense side tables (the historical default).
+  kSegregated,
+  // Figure 2's aggregated layout: per-block headers and intrusive free lists
+  // inline with user data.
+  kAggregated,
+  // Segment + slab carve path (DESIGN.md §10): fixed-size mapped segments
+  // holding size-classed slabs, per-slab freelists packed into one side-table
+  // header line, per-segment slab recycling.
+  kSegment,
+};
+
+inline const char* HeapKindName(HeapKind k) {
+  switch (k) {
+    case HeapKind::kSegregated:
+      return "segregated";
+    case HeapKind::kAggregated:
+      return "aggregated";
+    case HeapKind::kSegment:
+      return "segment";
+  }
+  return "unknown";
+}
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_CORE_HEAP_KIND_H_

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "src/core/heap_kind.h"
 #include "src/offload/routing.h"
 
 namespace ngx {
@@ -47,6 +48,19 @@ struct NgxConfig {
   // Segregated metadata (16-bit side indices) vs aggregated (intrusive
   // next pointers in the blocks themselves).
   bool segregated_metadata = true;
+
+  // Which carve path backs each shard's server heap (ServerHeapConfig::
+  // heap_kind). segregated_metadata = false forces kAggregated for the
+  // Figure-2 ablation regardless of this knob; with it true (the default)
+  // kSegment selects the segment + slab rewrite (DESIGN.md §10) and
+  // kSegregated keeps the historical per-class stacks bit-identical.
+  HeapKind heap_kind = HeapKind::kSegregated;
+
+  // Segment heap only (heap_kind = kSegment): fully-recycled segments kept
+  // mapped in each shard's empty pool. 0 unmaps immediately, which is what
+  // lets the span directory mark a donated segment kRecycled and flow it
+  // home through kReturnSpan (ServerHeapConfig::empty_segment_retain).
+  std::uint32_t empty_segment_retain = 8;
 
   // Section 3.1.3: the dedicated core serializes every operation, so the
   // heap's internal lock atomics can be removed. Set to false to keep them

@@ -23,6 +23,11 @@ NgxAllocator::NgxAllocator(Machine& machine, OffloadFabric* fabric, const NgxCon
   ServerHeapConfig hc;
   hc.span_bytes = 64 * 1024;  // page-granular spans: reuse locality
   hc.hugepage_spans = config.hugepage_spans;
+  // The Figure-2 bool wins over the finer selector so existing aggregated
+  // ablations keep meaning what they said.
+  heap_kind_ = config.segregated_metadata ? config.heap_kind : HeapKind::kAggregated;
+  hc.heap_kind = heap_kind_;
+  hc.empty_segment_retain = config.empty_segment_retain;
   // Section 3.1.3: the dedicated core serializes operations, so the lock can
   // go. Inline (non-offloaded) mode keeps it unless explicitly removed.
   hc.use_lock = !config.remove_atomics;
@@ -60,7 +65,7 @@ NgxAllocator::NgxAllocator(Machine& machine, OffloadFabric* fabric, const NgxCon
   heaps_.reserve(static_cast<std::size_t>(nshards));
   shard_servers_.reserve(static_cast<std::size_t>(nshards));
   for (int s = 0; s < nshards; ++s) {
-    heaps_.push_back(MakeServerHeap(machine, config.segregated_metadata,
+    heaps_.push_back(MakeServerHeap(machine,
                                     kNgxHeapBase + shard_window_ * static_cast<std::uint64_t>(s),
                                     kNgxMetaBase + meta_stride * static_cast<std::uint64_t>(s),
                                     hc));
@@ -771,14 +776,16 @@ std::uint64_t NgxAllocator::HandleShardRequest(Env& server_env, int shard, int c
 std::uint64_t NgxAllocator::NeededGrantSpans(std::uint64_t size) const {
   std::uint64_t map_bytes;
   if (size <= classes_.max_size()) {
-    // Small classes bump-carve whole spans; one grant unit refills a class.
+    // Small classes bump-carve whole spans (segregated) or whole segments
+    // (segment heap); either way one grant unit refills a class.
     map_bytes = grant_unit_spans_ * span_bytes_;
-  } else if (config_.segregated_metadata) {
-    map_bytes = AlignUp(AlignUp(size, span_bytes_),
-                        config_.hugepage_spans ? kHugePageBytes : kSmallPageBytes);
-  } else {
+  } else if (heap_kind_ == HeapKind::kAggregated) {
     // Aggregated large regions carry a page-sized header before user bytes.
     map_bytes = AlignUp(size, kSmallPageBytes) + kSmallPageBytes;
+  } else {
+    // Segregated and segment heaps both map span-aligned multiples.
+    map_bytes = AlignUp(AlignUp(size, span_bytes_),
+                        config_.hugepage_spans ? kHugePageBytes : kSmallPageBytes);
   }
   const std::uint64_t spans = AlignUp(map_bytes, span_bytes_) / span_bytes_;
   return AlignUp(spans, grant_unit_spans_);

@@ -93,6 +93,9 @@ class NgxAllocator : public Allocator {
   int ShardOfAddr(Addr addr) const;
 
   const NgxConfig& config() const { return config_; }
+  // Effective shard-heap layout (config.heap_kind after the Figure-2
+  // segregated_metadata override).
+  HeapKind heap_kind() const { return heap_kind_; }
   int num_shards() const { return static_cast<int>(heaps_.size()); }
   ServerHeap& heap(int shard = 0) { return *heaps_[static_cast<std::size_t>(shard)]; }
   AllocatorStats shard_stats(int shard) const {
@@ -309,6 +312,7 @@ class NgxAllocator : public Allocator {
 
   Machine* machine_;
   NgxConfig config_;
+  HeapKind heap_kind_ = HeapKind::kSegregated;  // effective shard-heap layout
   SizeClasses classes_;  // client-side class computation for stash/routing
   std::vector<std::unique_ptr<ServerHeap>> heaps_;  // one partition per shard
   std::vector<std::unique_ptr<ShardServer>> shard_servers_;

@@ -1,0 +1,117 @@
+// SegmentHeap: the segment + slab carve path behind the ServerHeap interface
+// (DESIGN.md §10).
+//
+// Compared to the segregated heap's per-class address stacks, the carve state
+// for a size class is distributed over *slabs*: each slab's freelist count,
+// bump cursor and the first 20 free entries share ONE 64-byte header line in
+// a dense side table, so steady-state malloc/free touch the class head line
+// plus that one header line instead of a stack whose entries spread across
+// ever more lines as churn deepens it. Fully-free slabs retire their unit
+// back to the owning segment; fully-recycled segments park in a bounded empty
+// pool and are unmapped beyond it -- which is what feeds SpanDirectory's
+// kRecycled state and makes donated segments eligible to return home.
+#ifndef NGX_SRC_CORE_SEGMENT_HEAP_H_
+#define NGX_SRC_CORE_SEGMENT_HEAP_H_
+
+#include <memory>
+
+#include "src/core/server_heap.h"
+#include "src/core/slab.h"
+#include "src/telemetry/metrics.h"
+
+namespace ngx {
+
+// Host-side carve-path observability (the ablation bench reads these; the
+// telemetry counters ngx.slab_reuses / ngx.slab_fresh mirror the reuse split
+// for RunResult).
+struct SegmentHeapStats {
+  std::uint64_t freelist_pops = 0;   // malloc served from a slab freelist
+  std::uint64_t bump_carves = 0;     // malloc served from a slab's bump cursor
+  std::uint64_t slab_acquires = 0;   // slabs handed to a class
+  std::uint64_t slab_retires = 0;    // fully-free slabs recycled
+  std::uint64_t unit_reuses = 0;     // slab acquired from a partial segment
+  std::uint64_t segment_reuses = 0;  // segment acquired from the empty pool
+  std::uint64_t fresh_segments = 0;  // segment acquired by mapping
+  std::uint64_t segments_unmapped = 0;
+  std::uint64_t overflow_spills = 0;  // freelist entries past the inline 20
+};
+
+class SegmentHeap : public ServerHeap {
+ public:
+  SegmentHeap(Machine& machine, Addr heap_base, Addr meta_base,
+              const ServerHeapConfig& config);
+
+  std::string_view name() const override { return "ngx-segment"; }
+  Addr Malloc(Env& env, std::uint64_t size) override;
+  void Free(Env& env, Addr addr) override;
+  std::uint64_t UsableSize(Env& env, Addr addr) override;
+  std::int64_t ClassifyForRecycle(Env& env, Addr addr) override;
+  AllocatorStats stats() const override;
+  PageProvider& span_provider() override { return span_provider_; }
+
+  const SegmentHeapStats& segment_stats() const { return seg_stats_; }
+  const SlabLayout& layout() const { return layout_; }
+
+ private:
+  // Class map tags share the segregated heap's encoding so the client-side
+  // recycle fast path is layout-agnostic.
+  static constexpr std::uint16_t kTagFree = 0;
+  static constexpr std::uint16_t kTagLarge = 1;
+  static constexpr std::uint16_t kTagClassBase = 2;
+
+  // A class whose block exceeds one slab unit carves whole segments.
+  bool WholeSegmentClass(std::uint32_t cls) const {
+    return classes_.SizeOf(cls) > layout_.unit_bytes();
+  }
+  std::uint32_t BlocksPerSlab(std::uint32_t cls) const {
+    return static_cast<std::uint32_t>(
+        (WholeSegmentClass(cls) ? layout_.span_bytes() : layout_.unit_bytes()) /
+        classes_.SizeOf(cls));
+  }
+
+  void MaybeLock(Env& env);
+  void MaybeUnlock(Env& env);
+
+  Addr MallocSmall(Env& env, std::uint64_t size);
+  Addr MallocLarge(Env& env, std::uint64_t size);
+  void FreeSmall(Env& env, Addr addr, std::uint32_t cls);
+
+  // Slab lifecycle. AcquireSlab links a fresh slab for `cls` at the class
+  // head and returns its first-unit index (or ~0ull on OOM); RetireSlab
+  // unlinks a fully-free, non-head slab (when it is linked at all) and
+  // recycles its unit(s).
+  std::uint64_t AcquireSlab(Env& env, std::uint32_t cls);
+  void RetireSlab(Env& env, std::uint32_t cls, std::uint64_t unit, Addr header,
+                  bool in_list);
+
+  // Segment lifecycle.
+  Addr AcquireUnit(Env& env);        // one free unit, from a partial segment
+  Addr AcquireSegment(Env& env);     // empty pool first, then a fresh mapping
+  void ReleaseUnit(Env& env, Addr unit_base);
+  void RetireSegment(Env& env, Addr seg_base);
+  void UnlinkPartial(Env& env, Addr seg_base, Addr dir);
+
+  bool Recording();
+  void BindInstruments();
+
+  ServerHeapConfig config_;
+  SizeClasses classes_;
+  PageProvider span_provider_;
+  PageProvider meta_provider_;
+  Machine* machine_;
+  SlabLayout layout_;
+  SimLock lock_;
+  AllocatorStats stats_;
+  SegmentHeapStats seg_stats_;
+
+  bool instruments_bound_ = false;
+  Counter* c_slab_reuses_ = nullptr;
+  Counter* c_slab_fresh_ = nullptr;
+};
+
+std::unique_ptr<SegmentHeap> MakeSegmentHeap(Machine& machine, Addr heap_base,
+                                             Addr meta_base, const ServerHeapConfig& config);
+
+}  // namespace ngx
+
+#endif  // NGX_SRC_CORE_SEGMENT_HEAP_H_

@@ -4,6 +4,8 @@
 
 #include "src/alloc/freelist.h"
 #include "src/alloc/layout.h"
+#include "src/core/segment_heap.h"
+#include "src/sim/check.h"
 
 namespace ngx {
 
@@ -19,6 +21,10 @@ namespace {
 //   spanmap_off           span class map, ONE u16 PER SPAN (the paper's
 //                         "smaller index (16-bit for example)")
 //   largemap_off          u64 bytes per span, used only by large mappings
+//   overflow_off          per-class overflow stacks (sparse, demand-touched):
+//                         frees past stack_capacity grow HERE instead of
+//                         leaking; kOverflowMultiple bounds the growth before
+//                         the heap fails loudly
 // ---------------------------------------------------------------------------
 class SegregatedHeap : public ServerHeap {
  public:
@@ -44,6 +50,15 @@ class SegregatedHeap : public ServerHeap {
     spanmap_off_ = AlignUp(stacks_off_ + stack_stride * ncls, kSmallPageBytes);
     largemap_off_ = AlignUp(spanmap_off_ + 2 * max_spans, kSmallPageBytes);
     const std::uint64_t total = AlignUp(largemap_off_ + 8 * max_spans, kSmallPageBytes);
+    // Overflow stacks live past the mapped tables as sparse memory: rows are
+    // materialized page by page only if a class ever saturates, so the dense
+    // layout -- and with it every non-saturated run -- is byte-identical to
+    // a build without them.
+    overflow_off_ = total;
+    overflow_stride_ = AlignUp(
+        IndexStack::FootprintBytes(config.stack_capacity * kOverflowMultiple),
+        kSmallPageBytes);
+    overflow_depth_.assign(ncls, 0);
     meta_base_ = meta_provider_.MapAtStartup(machine, total, PageKind::kSmall4K);
     stack_stride_ = stack_stride;
     lock_ = SimLock(meta_base_);
@@ -84,8 +99,17 @@ class SegregatedHeap : public ServerHeap {
     } else {
       const std::uint32_t cls = tag - kTagClassBase;
       stats_.bytes_live -= classes_.SizeOf(cls);
+      // A saturated dense stack used to drop the block silently -- a
+      // permanent leak, since a dropped address can never be reused. Grow
+      // into the class's sparse overflow stack instead, and only fail
+      // (loudly) when even the grown bound is exhausted. The failed Push
+      // performs the same accesses it always did, so runs that never
+      // saturate stay bit-identical.
       if (!Stack(cls).Push(env, addr)) {
-        ++overflow_drops_;
+        NGX_CHECK(OverflowStack(cls).Push(env, addr),
+                  "segregated free stack overflow exhausted; raise "
+                  "ServerHeapConfig::stack_capacity");
+        ++overflow_depth_[cls];
       }
     }
     MaybeUnlock(env);
@@ -122,6 +146,9 @@ class SegregatedHeap : public ServerHeap {
   static constexpr std::uint16_t kTagFree = 0;
   static constexpr std::uint16_t kTagLarge = 1;
   static constexpr std::uint16_t kTagClassBase = 2;
+  // Overflow bound: a class may hold this many times stack_capacity extra
+  // freed blocks before Free fails loudly.
+  static constexpr std::uint32_t kOverflowMultiple = 64;
 
   std::uint64_t SpanIndex(Addr a) const { return (a - heap_base_) / config_.span_bytes; }
   Addr SpanTagAddr(std::uint64_t span) const { return meta_base_ + spanmap_off_ + 2 * span; }
@@ -130,6 +157,10 @@ class SegregatedHeap : public ServerHeap {
   }
   IndexStack Stack(std::uint32_t cls) const {
     return IndexStack(meta_base_ + stacks_off_ + stack_stride_ * cls, config_.stack_capacity);
+  }
+  IndexStack OverflowStack(std::uint32_t cls) const {
+    return IndexStack(meta_base_ + overflow_off_ + overflow_stride_ * cls,
+                      config_.stack_capacity * kOverflowMultiple);
   }
   Addr CursorAddr(std::uint32_t cls) const { return meta_base_ + cursor_off_ + 16ull * cls; }
 
@@ -150,6 +181,17 @@ class SegregatedHeap : public ServerHeap {
     IndexStack stack = Stack(cls);
     std::uint64_t block = 0;
     if (stack.Pop(env, &block)) {
+      stats_.bytes_live += classes_.SizeOf(cls);
+      return block;
+    }
+    // Drain any overflowed frees before carving new memory. The host-side
+    // depth mirror keeps this free of simulated accesses (and so
+    // bit-identical) whenever the class never saturated.
+    if (overflow_depth_[cls] > 0) {
+      const bool popped = OverflowStack(cls).Pop(env, &block);
+      assert(popped);
+      (void)popped;
+      --overflow_depth_[cls];
       stats_.bytes_live += classes_.SizeOf(cls);
       return block;
     }
@@ -207,8 +249,10 @@ class SegregatedHeap : public ServerHeap {
   std::uint64_t stack_stride_ = 0;
   std::uint64_t spanmap_off_ = 0;
   std::uint64_t largemap_off_ = 0;
+  std::uint64_t overflow_off_ = 0;
+  std::uint64_t overflow_stride_ = 0;
+  std::vector<std::uint64_t> overflow_depth_;  // host mirror, one per class
   SimLock lock_;
-  std::uint64_t overflow_drops_ = 0;
   AllocatorStats stats_;
 };
 
@@ -385,12 +429,25 @@ class AggregatedHeap : public ServerHeap {
 
 }  // namespace
 
+std::unique_ptr<ServerHeap> MakeServerHeap(Machine& machine, Addr heap_base, Addr meta_base,
+                                           const ServerHeapConfig& config) {
+  switch (config.heap_kind) {
+    case HeapKind::kSegregated:
+      return std::make_unique<SegregatedHeap>(machine, heap_base, meta_base, config);
+    case HeapKind::kAggregated:
+      return std::make_unique<AggregatedHeap>(machine, heap_base, meta_base, config);
+    case HeapKind::kSegment:
+      return MakeSegmentHeap(machine, heap_base, meta_base, config);
+  }
+  NGX_CHECK(false, "unknown heap kind");
+  return nullptr;
+}
+
 std::unique_ptr<ServerHeap> MakeServerHeap(Machine& machine, bool segregated, Addr heap_base,
                                            Addr meta_base, const ServerHeapConfig& config) {
-  if (segregated) {
-    return std::make_unique<SegregatedHeap>(machine, heap_base, meta_base, config);
-  }
-  return std::make_unique<AggregatedHeap>(machine, heap_base, meta_base, config);
+  ServerHeapConfig c = config;
+  c.heap_kind = segregated ? HeapKind::kSegregated : HeapKind::kAggregated;
+  return MakeServerHeap(machine, heap_base, meta_base, c);
 }
 
 }  // namespace ngx

@@ -1,11 +1,14 @@
 // Single-owner heaps used by the NextGen-Malloc server core.
 //
-// Both variants implement the same interface; they differ exactly along
-// Figure 2's axis:
+// The interface is layout-agnostic; the variants behind the HeapKind
+// selector differ along Figure 2's axis plus the carve-path rewrite:
 //  * SegregatedHeap -- block bookkeeping in dense side tables (16-bit span
 //    classes, address stacks) far from user data.
 //  * AggregatedHeap -- intrusive free lists and per-block headers inline
 //    with user data.
+//  * SegmentHeap   -- segment + slab carve path (segment_heap.h): segregated
+//    side tables reorganized so each slab's whole carve state shares one
+//    header line.
 // An optional lock models Section 3.1.3's removable atomics.
 #ifndef NGX_SRC_CORE_SERVER_HEAP_H_
 #define NGX_SRC_CORE_SERVER_HEAP_H_
@@ -18,6 +21,7 @@
 #include "src/alloc/page_provider.h"
 #include "src/alloc/sim_lock.h"
 #include "src/alloc/size_classes.h"
+#include "src/core/heap_kind.h"
 
 namespace ngx {
 
@@ -43,11 +47,19 @@ class ServerHeap {
 };
 
 struct ServerHeapConfig {
+  // Which carve path backs the shard (README's knob table). The default is
+  // the historical segregated layout, byte-for-byte.
+  HeapKind heap_kind = HeapKind::kSegregated;
   bool use_lock = false;  // keep the 2-atomics-per-op lock (ablation)
   bool hugepage_spans = true;
   std::uint64_t span_bytes = 128 * 1024;
   std::uint64_t small_max = 32 * 1024;
   std::uint32_t stack_capacity = 8192;  // per-class free stack (segregated)
+  // Segment heap only: fully-recycled segments kept mapped in the empty pool
+  // (amortizes map/unmap churn); beyond this many, a recycled segment is
+  // unmapped -- which is also what makes a donated segment returnable, so
+  // span-return tests set 0.
+  std::uint32_t empty_segment_retain = 8;
   // Size of the heap/metadata windows starting at heap_base/meta_base.
   // 0 means the full kHeapWindow; the sharded fabric passes
   // kHeapWindow / num_shards so shard partitions stay disjoint.
@@ -58,8 +70,13 @@ struct ServerHeapConfig {
   std::uint64_t meta_window_bytes = 0;
 };
 
-// Factory: `segregated` selects the layout. `heap_base`/`meta_base` carve
-// disjoint windows.
+// Factory: config.heap_kind selects the layout. `heap_base`/`meta_base`
+// carve disjoint windows.
+std::unique_ptr<ServerHeap> MakeServerHeap(Machine& machine, Addr heap_base, Addr meta_base,
+                                           const ServerHeapConfig& config);
+
+// Legacy two-layout factory (Figure-2 call sites): `segregated` overrides
+// config.heap_kind with kSegregated / kAggregated.
 std::unique_ptr<ServerHeap> MakeServerHeap(Machine& machine, bool segregated, Addr heap_base,
                                            Addr meta_base, const ServerHeapConfig& config);
 

@@ -9,6 +9,13 @@ namespace ngx {
 
 namespace {
 
+// Ops whose handler is the heap's carve/classify path; their server-side
+// service time is what OffloadEngineStats::carve_cycles accumulates.
+bool IsCarveOp(OffloadOp op) {
+  return op == OffloadOp::kMalloc || op == OffloadOp::kMallocBatch ||
+         op == OffloadOp::kRefillStash || op == OffloadOp::kFree;
+}
+
 const char* OpName(OffloadOp op) {
   switch (op) {
     case OffloadOp::kMalloc:
@@ -96,6 +103,7 @@ void OffloadEngine::BindInstruments() {
   c_sync_requests_ = &m.GetCounter("offload.sync_requests", {{"shard", shard}});
   c_async_ops_ = &m.GetCounter("offload.async_ops", {{"shard", shard}});
   c_ring_full_ = &m.GetCounter("offload.ring_full_stalls", {{"shard", shard}});
+  c_carve_cycles_ = &m.GetCounter("ngx.server_carve_cycles", {{"shard", shard}});
   instruments_bound_ = true;
 }
 
@@ -106,6 +114,7 @@ void OffloadEngine::DrainRing(Env& server_env, int client) {
         // Tag 0 = the historical raw-address kFree encoding; other tags carry
         // the op in the top byte (currently only kRefillStash rides tagged).
         const std::uint64_t tag = entry >> 56;
+        const std::uint64_t c0 = server_env.now();
         if (tag == 0) {
           server_->HandleRequest(server_env, client, OffloadOp::kFree, entry);
         } else {
@@ -115,6 +124,8 @@ void OffloadEngine::DrainRing(Env& server_env, int client) {
           server_->HandleRequest(server_env, client, static_cast<OffloadOp>(tag),
                                  entry & kRingArgMask);
         }
+        // Every drained entry is a free or a refill, both carve-path work.
+        NoteCarveCycles(server_env.now() - c0);
         ++stats_.async_ops;
       });
   if (n > 0 && Recording()) {
@@ -165,7 +176,11 @@ std::uint64_t OffloadEngine::SyncRequest(Env& client_env, OffloadOp op, std::uin
   const std::uint64_t service_start = server_env.now();
   const Channel::Request req = ch.ServerReadRequest(server_env);
   assert(req.seq == seq);
+  const std::uint64_t handle_start = server_env.now();
   const std::uint64_t result = server_->HandleRequest(server_env, client, req.op, req.arg);
+  if (IsCarveOp(req.op)) {
+    NoteCarveCycles(server_env.now() - handle_start);
+  }
   ch.ServerRespond(server_env, seq, result);
 
   // Client spins until the response is visible, then reads it.

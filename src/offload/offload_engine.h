@@ -40,6 +40,11 @@ struct OffloadEngineStats {
   // Tagged kRefillStash entries served out of drained rings (the stash
   // pipeline's background refills; a subset of async_ops).
   std::uint64_t refill_ops = 0;
+  // Server-core cycles spent inside the heap's carve/classify handlers
+  // (kMalloc / kMallocBatch / kRefillStash / kFree) -- the per-op server
+  // cost the segment-heap rewrite targets. Mirrored to the telemetry
+  // counter ngx.server_carve_cycles and RunResult::server_carve_cycles.
+  std::uint64_t carve_cycles = 0;
 };
 
 class OffloadEngine {
@@ -143,6 +148,14 @@ class OffloadEngine {
   // returns the pre-push ring occupancy from the producer's view.
   std::uint64_t CachedPushReserve(Env& client_env, int client, std::uint32_t n);
 
+  // Host-side accounting of server cycles spent in carve-path handlers.
+  void NoteCarveCycles(std::uint64_t cycles) {
+    stats_.carve_cycles += cycles;
+    if (cycles > 0 && Recording()) {
+      c_carve_cycles_->Add(cycles);
+    }
+  }
+
   Machine* machine_;
   int server_core_;
   int shard_id_ = 0;
@@ -166,6 +179,7 @@ class OffloadEngine {
   Counter* c_sync_requests_ = nullptr;
   Counter* c_async_ops_ = nullptr;
   Counter* c_ring_full_ = nullptr;
+  Counter* c_carve_cycles_ = nullptr;
 };
 
 }  // namespace ngx

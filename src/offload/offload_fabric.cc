@@ -115,6 +115,7 @@ OffloadEngineStats OffloadFabric::TotalStats() const {
     total.server_busy_waits += e->stats().server_busy_waits;
     total.ring_doorbells += e->stats().ring_doorbells;
     total.refill_ops += e->stats().refill_ops;
+    total.carve_cycles += e->stats().carve_cycles;
   }
   return total;
 }

@@ -62,6 +62,9 @@ RunResult RunWorkload(Machine& machine, Allocator& alloc, Workload& workload,
     result.refill_overlap_cycles = m.CounterTotal("ngx.refill_overlap_cycles", {});
     result.stash_starvation_stalls = m.CounterTotal("ngx.stash_starvation_stalls", {});
     result.stash_recycles = m.CounterTotal("ngx.stash_recycles", {});
+    result.server_carve_cycles = m.CounterTotal("ngx.server_carve_cycles", {});
+    result.slab_reuses = m.CounterTotal("ngx.slab_reuses", {});
+    result.fresh_slab_carves = m.CounterTotal("ngx.slab_fresh", {});
   }
   return result;
 }

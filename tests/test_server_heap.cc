@@ -2,6 +2,8 @@
 // UVM extension allocator.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "src/alloc/layout.h"
 #include "src/core/gpu_malloc.h"
 #include "src/core/server_heap.h"
@@ -11,12 +13,13 @@
 namespace ngx {
 namespace {
 
-class ServerHeapTest : public ::testing::TestWithParam<bool> {  // segregated?
+class ServerHeapTest : public ::testing::TestWithParam<HeapKind> {
  protected:
   void SetUp() override {
     machine_ = MakeMachine(1);
     ServerHeapConfig cfg;
-    heap_ = MakeServerHeap(*machine_, GetParam(), kNgxHeapBase, kNgxMetaBase, cfg);
+    cfg.heap_kind = GetParam();
+    heap_ = MakeServerHeap(*machine_, kNgxHeapBase, kNgxMetaBase, cfg);
   }
   std::unique_ptr<Machine> machine_;
   std::unique_ptr<ServerHeap> heap_;
@@ -83,10 +86,75 @@ TEST_P(ServerHeapTest, NoLockMeansNoAtomics) {
   EXPECT_EQ(machine_->core(0).pmu().atomic_rmws, 0u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Layouts, ServerHeapTest, ::testing::Bool(),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "segregated" : "aggregated";
+INSTANTIATE_TEST_SUITE_P(Layouts, ServerHeapTest,
+                         ::testing::Values(HeapKind::kSegregated,
+                                           HeapKind::kAggregated,
+                                           HeapKind::kSegment),
+                         [](const ::testing::TestParamInfo<HeapKind>& p) {
+                           return HeapKindName(p.param);
                          });
+
+TEST(ServerHeap, LegacyBoolFactoryStillSelectsLayouts) {
+  auto machine = MakeMachine(1);
+  ServerHeapConfig cfg;
+  auto seg = MakeServerHeap(*machine, true, kNgxHeapBase, kNgxMetaBase, cfg);
+  EXPECT_EQ(seg->name(), "ngx-segregated");
+  auto machine2 = MakeMachine(1);
+  auto agg = MakeServerHeap(*machine2, false, kNgxHeapBase, kNgxMetaBase, cfg);
+  EXPECT_EQ(agg->name(), "ngx-aggregated");
+}
+
+TEST(ServerHeap, SegregatedFreeStackGrowsPastSaturation) {
+  auto machine = MakeMachine(1);
+  ServerHeapConfig cfg;
+  cfg.stack_capacity = 4;  // tiny per-class free stack
+  auto heap = MakeServerHeap(*machine, true, kNgxHeapBase, kNgxMetaBase, cfg);
+  Env env(*machine, 0);
+  std::vector<Addr> blocks;
+  for (int i = 0; i < 16; ++i) {
+    blocks.push_back(heap->Malloc(env, 64));
+  }
+  // Freeing more blocks than the dense stack holds used to drop the excess
+  // silently -- a permanent leak. The overflow stack must keep every one of
+  // them reusable.
+  for (const Addr a : blocks) {
+    heap->Free(env, a);
+  }
+  EXPECT_EQ(heap->stats().bytes_live, 0u);
+  const std::uint64_t mapped_after_free = heap->stats().mapped_bytes;
+  std::set<Addr> reused;
+  for (int i = 0; i < 16; ++i) {
+    reused.insert(heap->Malloc(env, 64));
+  }
+  EXPECT_EQ(reused, std::set<Addr>(blocks.begin(), blocks.end()))
+      << "overflowed frees must be recycled before any fresh carve";
+  EXPECT_EQ(heap->stats().mapped_bytes, mapped_after_free);
+  for (const Addr a : blocks) {
+    heap->Free(env, a);
+  }
+  EXPECT_EQ(heap->stats().bytes_live, 0u);
+}
+
+TEST(ServerHeapDeathTest, SegregatedFreeStackOverflowExhaustionFailsLoudly) {
+  auto machine = MakeMachine(1);
+  ServerHeapConfig cfg;
+  cfg.stack_capacity = 4;  // dense 4 + overflow 4*64 = 260 pending frees max
+  auto heap = MakeServerHeap(*machine, true, kNgxHeapBase, kNgxMetaBase, cfg);
+  Env env(*machine, 0);
+  std::vector<Addr> blocks;
+  for (int i = 0; i < 300; ++i) {
+    blocks.push_back(heap->Malloc(env, 64));
+  }
+  // Past the overflow bound the heap must abort with a diagnostic, never
+  // drop a block.
+  EXPECT_DEATH_IF_SUPPORTED(
+      {
+        for (const Addr a : blocks) {
+          heap->Free(env, a);
+        }
+      },
+      "overflow exhausted");
+}
 
 TEST(ServerHeap, LockedVariantIssuesAtomics) {
   auto machine = MakeMachine(1);
