@@ -76,17 +76,21 @@ class BenchCli {
   bool want_json() const { return !json_path_.empty(); }
   bool want_trace() const { return !trace_path_.empty(); }
 
-  // Switches `machine` into recording mode. Metrics always record (purely
-  // observational, host-side); event tracing turns on only when --trace was
-  // given, `allow_trace` is set, and no earlier run was captured -- so the
-  // first Capture()d tracing machine becomes the exported trace. Benches
-  // with several runs pass allow_trace=false on the uninteresting ones.
+  // Switches `machine` into recording mode. Metrics and the flight recorder
+  // always record (purely observational, host-side); event tracing turns on
+  // only when --trace was given, `allow_trace` is set, and no earlier run
+  // was captured -- so the first Capture()d tracing machine becomes the
+  // exported trace. Benches with several runs pass allow_trace=false on the
+  // uninteresting ones.
   void EnableTelemetry(Machine& machine, bool allow_trace = true,
-                       std::uint64_t pmu_snapshot_interval = 1000000) {
+                       std::uint64_t pmu_snapshot_interval = 1000000,
+                       std::uint64_t recorder_snapshot_interval = 50000000) {
     TelemetryConfig tc;
     tc.enabled = true;
     tc.trace = allow_trace && want_trace() && !captured_trace_;
     tc.pmu_snapshot_interval = tc.trace ? pmu_snapshot_interval : 0;
+    tc.recorder = true;
+    tc.recorder_snapshot_interval = recorder_snapshot_interval;
     machine.EnableTelemetry(tc);
   }
 
@@ -101,8 +105,12 @@ class BenchCli {
     if (!t.metrics().empty()) {
       telemetry_json_ = t.metrics().ToJson();
     }
+    if (t.recording()) {
+      recorder_json_ = t.recorder().ToJson();
+    }
     if (t.tracing() && !captured_trace_) {
       trace_json_ = t.tracer().ToChromeTraceJson();
+      trace_dropped_events_ = t.tracer().dropped();
       captured_trace_ = true;
     }
   }
@@ -124,6 +132,12 @@ class BenchCli {
       }
       if (telemetry_json_.kind() == JsonValue::Kind::kObject) {
         root_.Set("telemetry", telemetry_json_);
+      }
+      if (recorder_json_.kind() == JsonValue::Kind::kObject) {
+        root_.Set("flight_recorder", recorder_json_);
+      }
+      if (captured_trace_) {
+        root_.Set("trace_dropped_events", JsonValue(trace_dropped_events_));
       }
       std::ofstream out(json_path_);
       out << root_.Dump(2) << "\n";
@@ -158,7 +172,9 @@ class BenchCli {
   JsonValue root_ = JsonValue::Object();
   JsonValue metrics_ = JsonValue::Object();
   JsonValue telemetry_json_;
+  JsonValue recorder_json_;
   std::string trace_json_;
+  std::uint64_t trace_dropped_events_ = 0;
   bool captured_trace_ = false;
 };
 

@@ -11,6 +11,8 @@
 // client<->server mailbox transfers are cheap; we model the same-cluster
 // placement with a reduced cache-to-cache transfer latency and the weaker
 // Arm memory model's cheaper atomics.
+#include <cstdio>
+
 #include "bench/bench_common.h"
 #include "src/alloc/layout.h"
 #include "src/alloc/mimalloc/mi_allocator.h"
@@ -26,6 +28,40 @@ MachineConfig Table3Machine() {
   m.invalidate_latency = 15;
   m.count_hitm_as_llc_miss = false;  // transfers ride the cluster L2
   return m;
+}
+
+// FNV-1a over the sim-visible outcome of a run: final clocks, every core's
+// PMU counters and the allocator's own books. Two runs that agree here went
+// through the same simulated history as far as any reported number can tell,
+// which is what "the flight recorder is purely observational" promises.
+std::uint64_t SimStateHash(const RunResult& r) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(r.wall_cycles);
+  for (const PmuCounters& p : r.per_core) {
+    mix(p.cycles);
+    mix(p.instructions);
+    mix(p.llc_load_misses);
+    mix(p.llc_store_misses);
+    mix(p.dtlb_load_misses);
+    mix(p.dtlb_store_misses);
+    mix(p.atomic_rmws);
+    mix(p.alloc_cycles);
+  }
+  mix(r.alloc_stats.mallocs);
+  mix(r.alloc_stats.frees);
+  mix(r.alloc_stats.bytes_requested);
+  mix(r.alloc_stats.bytes_live);
+  mix(r.alloc_stats.mapped_bytes);
+  mix(r.alloc_stats.mmap_calls);
+  mix(r.alloc_stats.munmap_calls);
+  mix(r.alloc_stats.oom_failures);
+  return h;
 }
 
 }  // namespace bench
@@ -128,6 +164,25 @@ int main(int argc, char** argv) {
   const std::uint64_t segm_carve = segm_sys.fabric->TotalStats().carve_cycles;
   std::cerr << "[done] nextgen+segment-heap\n";
 
+  // Flight recorder (DESIGN.md §13): rerun the pipeline configuration with
+  // the recorder on. This both feeds the cycle-attribution table below and
+  // proves the recorder observational: the run must replay the exact same
+  // simulated history as the recorder-off run above (same final-state hash).
+  Machine m_rec(Table3Machine());
+  TelemetryConfig rec_tc;
+  rec_tc.enabled = true;
+  rec_tc.recorder = true;
+  rec_tc.recorder_snapshot_interval = 50'000'000;
+  m_rec.EnableTelemetry(rec_tc);
+  NgxSystem rec_sys = MakeNgxSystem(m_rec, pipe_cfg, /*server_core=*/1);
+  XalancLike wl_rec(wl);
+  const RunResult r_rec = RunWorkload(m_rec, *rec_sys.allocator, wl_rec, opt_pipe);
+  rec_sys.fabric->DrainAll();
+  const std::uint64_t hash_off = SimStateHash(r_pipe);
+  const std::uint64_t hash_on = SimStateHash(r_rec);
+  const bool bit_identical = hash_on == hash_off;
+  std::cerr << "[done] nextgen+pipeline (flight recorder on)\n";
+
   TextTable t({"counter (app core)", "Mimalloc", "NextGen-Malloc"});
   auto row = [&](const std::string& label, auto getter) {
     t.AddRow({label, FormatSci(static_cast<double>(getter(r_mi.app))),
@@ -175,6 +230,31 @@ int main(int argc, char** argv) {
                                    2)
             << "% lower)\n";
 
+  // Where the pipeline run's cycles go, per DESIGN.md §13: client-path is
+  // allocator code on the application core net of waits; the two wait rows
+  // are the client clock jumping to a server; carve vs drain splits the
+  // shard core's busy time. Rows sum to total exactly by construction.
+  const CycleAttribution& at = r_rec.attribution;
+  const double at_total = static_cast<double>(at.total());
+  auto pct = [at_total](std::uint64_t v) {
+    return at_total == 0.0 ? std::string("-")
+                           : FormatFixed(100.0 * static_cast<double>(v) / at_total, 2) + "%";
+  };
+  std::cout << "\ncycle attribution (pipeline config, flight recorder on):\n";
+  TextTable att({"bucket", "cycles", "share"});
+  att.AddRow({"client path", FormatSci(static_cast<double>(at.client_path())),
+              pct(at.client_path())});
+  att.AddRow({"sync stall", FormatSci(static_cast<double>(at.sync_stall)), pct(at.sync_stall)});
+  att.AddRow({"ring wait", FormatSci(static_cast<double>(at.ring_wait)), pct(at.ring_wait)});
+  att.AddRow({"server carve", FormatSci(static_cast<double>(at.server_carve)),
+              pct(at.server_carve)});
+  att.AddRow({"server drain", FormatSci(static_cast<double>(at.server_drain())),
+              pct(at.server_drain())});
+  att.AddRow({"total attributed", FormatSci(at_total), pct(at.total())});
+  std::cout << att.ToString();
+  std::cout << "recorder bit-identity: " << (bit_identical ? "ok" : "FAILED")
+            << " (final-state hash " << std::hex << hash_on << std::dec << ")\n";
+
   cli.Metric("mimalloc_wall_cycles", r_mi.wall_cycles);
   cli.Metric("nextgen_wall_cycles", r_ngx.wall_cycles);
   cli.Metric("nextgen_prediction_wall_cycles", r_pred.wall_cycles);
@@ -198,6 +278,28 @@ int main(int argc, char** argv) {
   cli.Set("app_core_counters", counters);
   if (!r_ngx.shard_sync_latency.empty()) {
     cli.Metric("sync_latency", SummaryJson(r_ngx.shard_sync_latency[0]));
+  }
+
+  // Flight-recorder sections: the attribution buckets (they must sum to the
+  // attributed total -- CI asserts this within 0.1%), the bit-identity
+  // verdict, and the recorder run's traffic matrix and end-of-run snapshot.
+  cli.Set("cycle_attribution", at.ToJson());
+  cli.Metric("attribution_total_cycles", at.total());
+  cli.Metric("recorder_bit_identical", JsonValue(bit_identical));
+  char hash_hex[32];
+  std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                static_cast<unsigned long long>(hash_on));
+  cli.Metric("final_state_hash", JsonValue(hash_hex));
+  cli.Set("traffic_matrix", r_rec.traffic_matrix.ToJson());
+  if (!r_rec.final_snapshot.shards.empty()) {
+    cli.Set("final_heap_snapshot", r_rec.final_snapshot.ToJson());
+  }
+
+  if (!bit_identical) {
+    std::cerr << "error: recorder-on run diverged from recorder-off run ("
+              << std::hex << hash_on << " != " << hash_off << std::dec << ")\n";
+    cli.Finish();
+    return 1;
   }
   return cli.Finish();
 }

@@ -80,4 +80,21 @@ if os.path.exists(t3_path):
         print(f"  server carve cycles: segregated {carve_seg:,} -> "
               f"segment {carve_slab:,} "
               f"({100.0 * (1.0 - carve_slab / carve_seg):.1f}% lower)")
+    with open(t3_path) as f:
+        at = json.load(f).get("cycle_attribution")
+    if at and at.get("total_cycles"):
+        total = at["total_cycles"]
+        print("\n=== Table 3 cycle attribution (flight recorder) ===")
+        for key, label in (("client_path_cycles", "client path"),
+                           ("sync_stall_cycles", "sync stall"),
+                           ("ring_wait_cycles", "ring wait"),
+                           ("server_carve_cycles", "server carve"),
+                           ("server_drain_cycles", "server drain")):
+            v = at.get(key, 0)
+            print(f"  {label:<13} {v:>14,}  ({100.0 * v / total:5.1f}%)")
+        print(f"  {'total':<13} {total:>14,}")
 PYEOF
+
+# Full flight-recorder report for the table-3 run: attribution breakdown,
+# client x shard traffic matrix, and the end-of-run heap snapshot.
+python3 scripts/report.py "$results_dir/table3_nextgen.json"

@@ -8,6 +8,34 @@
 
 namespace ngx {
 
+namespace {
+
+// RAII client-op scope for the flight recorder: the outermost pair on a core
+// brackets one user-facing allocator op, so its wall cycles land in the
+// kClientOp attribution bucket and wait sites know they are inside an op.
+// Null recorder = recorder off = zero work.
+class ClientOpScope {
+ public:
+  ClientOpScope(FlightRecorder* rec, Env& env) : rec_(rec), env_(&env) {
+    if (rec_ != nullptr) {
+      rec_->BeginClientOp(env_->core_id(), env_->now());
+    }
+  }
+  ~ClientOpScope() {
+    if (rec_ != nullptr) {
+      rec_->EndClientOp(env_->core_id(), env_->now());
+    }
+  }
+  ClientOpScope(const ClientOpScope&) = delete;
+  ClientOpScope& operator=(const ClientOpScope&) = delete;
+
+ private:
+  FlightRecorder* rec_;
+  Env* env_;
+};
+
+}  // namespace
+
 NgxAllocator::NgxAllocator(Machine& machine, OffloadFabric* fabric, const NgxConfig& config)
     : machine_(&machine),
       config_(config),
@@ -177,9 +205,20 @@ NgxAllocator::NgxAllocator(Machine& machine, OffloadFabric* fabric, const NgxCon
           }));
     }
   }
+  // Flight-recorder wiring (host-side only; inert until the recorder is
+  // enabled). The snapshot source lets Machine's periodic cadence and the
+  // runner's end-of-run walk reach this allocator's heaps.
+  stash_shard_.assign(
+      static_cast<std::size_t>(machine.num_cores()) * classes_.num_classes(), 0);
+  frag_req_bytes_.assign(static_cast<std::size_t>(nshards), 0);
+  frag_block_bytes_.assign(static_cast<std::size_t>(nshards), 0);
+  FlightRecorder& recorder = machine.telemetry().recorder();
+  recorder.matrix().SetNumShards(nshards);
+  recorder.SetSnapshotSource([this] { return BuildSnapshot(); });
 }
 
 NgxAllocator::~NgxAllocator() {
+  machine_->telemetry().recorder().ClearSnapshotSource();
   for (const int id : idle_hook_ids_) {
     machine_->RemoveIdleHook(id);
   }
@@ -254,9 +293,11 @@ int NgxAllocator::ShardOfAddr(Addr addr) const {
 
 Addr NgxAllocator::Malloc(Env& env, std::uint64_t size) {
   const bool rec = Recording();
+  ClientOpScope op_scope(Recorder(), env);
   const std::uint64_t t0 = env.now();
   if (!config_.offload) {
     const Addr a = heaps_[0]->Malloc(env, size);
+    NoteMallocTraffic(env.core_id(), 0, size);
     if (rec) {
       h_malloc_inline_->Record(env.now() - t0);
       NoteAlloc(a, env.core_id());
@@ -273,6 +314,7 @@ Addr NgxAllocator::Malloc(Env& env, std::uint64_t size) {
     std::uint64_t block = 0;
     if (stash.Pop(env, &block)) {
       ++stash_hits_;
+      NoteMallocTraffic(env.core_id(), StashShard(env.core_id(), cls), size);
       if (rec) {
         h_malloc_stash_->Record(env.now() - t0);
         NoteAlloc(block, env.core_id());
@@ -281,7 +323,9 @@ Addr NgxAllocator::Malloc(Env& env, std::uint64_t size) {
     }
     ++sync_mallocs_;
     const int shard = fabric_->RouteMalloc(env.core_id(), size, cls);
+    StashShard(env.core_id(), cls) = static_cast<std::int16_t>(shard);
     const Addr a = fabric_->SyncRequest(env, shard, OffloadOp::kMallocBatch, size);
+    NoteMallocTraffic(env.core_id(), shard, size);
     if (rec) {
       h_malloc_sync_->Record(env.now() - t0);
       NoteAlloc(a, env.core_id());
@@ -291,6 +335,7 @@ Addr NgxAllocator::Malloc(Env& env, std::uint64_t size) {
   ++sync_mallocs_;
   const int shard = fabric_->RouteMalloc(env.core_id(), size, RouteClassOf(size));
   const Addr a = fabric_->SyncRequest(env, shard, OffloadOp::kMalloc, size);
+  NoteMallocTraffic(env.core_id(), shard, size);
   if (rec) {
     h_malloc_sync_->Record(env.now() - t0);
     NoteAlloc(a, env.core_id());
@@ -303,6 +348,7 @@ void NgxAllocator::Free(Env& env, Addr addr) {
     return;
   }
   const bool rec = Recording();
+  ClientOpScope op_scope(Recorder(), env);
   const std::uint64_t t0 = env.now();
   if (rec || !alloc_core_.empty()) {
     // The map must keep draining even after telemetry is switched off, or
@@ -311,6 +357,9 @@ void NgxAllocator::Free(Env& env, Addr addr) {
   }
   if (!config_.offload) {
     heaps_[0]->Free(env, addr);
+    if (FlightRecorder* frec = Recorder()) {
+      frec->matrix().NoteFree(env.core_id(), 0);
+    }
     if (rec) {
       h_free_->Record(env.now() - t0);
     }
@@ -324,11 +373,15 @@ void NgxAllocator::Free(Env& env, Addr addr) {
     // server, and the next malloc of its class pops it while its data lines
     // are still warm -- the depth-1 LIFO reuse the synchronous path gets
     // from the server's free stacks, kept without the round trip.
+    const int rshard = ShardOfAddr(addr);
     const std::int64_t cls =
-        heaps_[static_cast<std::size_t>(ShardOfAddr(addr))]->ClassifyForRecycle(env, addr);
+        heaps_[static_cast<std::size_t>(rshard)]->ClassifyForRecycle(env, addr);
     if (cls >= 0 &&
         StashRecycle(env, env.core_id(), static_cast<std::uint32_t>(cls), addr)) {
       ++recycled_frees_;
+      if (FlightRecorder* frec = Recorder()) {
+        frec->matrix().NoteFree(env.core_id(), rshard);
+      }
       if (rec) {
         c_stash_recycles_->Add();
         h_free_->Record(env.now() - t0);
@@ -339,6 +392,9 @@ void NgxAllocator::Free(Env& env, Addr addr) {
   // A block is always returned to the shard owning its heap partition, no
   // matter which client frees it or which policy routed the malloc.
   const int shard = ShardOfAddr(addr);
+  if (FlightRecorder* frec = Recorder()) {
+    frec->matrix().NoteFree(env.core_id(), shard);
+  }
   if (config_.async_free) {
     if (config_.free_batch > 1) {
       // Buffer locally; one ring doorbell per free_batch entries.
@@ -409,6 +465,7 @@ Addr NgxAllocator::PipelinedMalloc(Env& env, std::uint64_t size, std::uint32_t c
   if (StashPopActive(env, core, cls, &block, &remaining)) {
     ++stash_hits_;
     MaybePostRefill(env, cls, remaining);
+    NoteMallocTraffic(core, StashShard(core, cls), size);
     if (rec) {
       h_malloc_stash_->Record(env.now() - t0);
       NoteAlloc(block, core);
@@ -425,6 +482,7 @@ Addr NgxAllocator::PipelinedMalloc(Env& env, std::uint64_t size, std::uint32_t c
     block = env.Load<std::uint64_t>(SpillAddr(core, cls, pipe.spill));
     ++stash_hits_;
     MaybePostRefill(env, cls, pipe.spill);
+    NoteMallocTraffic(core, StashShard(core, cls), size);
     if (rec) {
       h_malloc_stash_->Record(env.now() - t0);
       NoteAlloc(block, core);
@@ -439,6 +497,7 @@ Addr NgxAllocator::PipelinedMalloc(Env& env, std::uint64_t size, std::uint32_t c
     if (StashPopActive(env, core, cls, &block, &remaining)) {
       ++stash_hits_;
       MaybePostRefill(env, cls, remaining);
+      NoteMallocTraffic(core, StashShard(core, cls), size);
       if (rec) {
         h_malloc_stash_->Record(env.now() - t0);
         NoteAlloc(block, core);
@@ -455,6 +514,7 @@ Addr NgxAllocator::PipelinedMalloc(Env& env, std::uint64_t size, std::uint32_t c
     if (StashPopActive(env, core, cls, &block, &remaining)) {
       ++stash_hits_;
       MaybePostRefill(env, cls, remaining);
+      NoteMallocTraffic(core, StashShard(core, cls), size);
       if (rec) {
         h_malloc_stash_->Record(env.now() - t0);
         NoteAlloc(block, core);
@@ -467,7 +527,9 @@ Addr NgxAllocator::PipelinedMalloc(Env& env, std::uint64_t size, std::uint32_t c
   // exactly as in the non-pipelined path until refills take over.
   ++sync_mallocs_;
   const int shard = fabric_->RouteMalloc(core, size, cls);
+  StashShard(core, cls) = static_cast<std::int16_t>(shard);
   const Addr a = fabric_->SyncRequest(env, shard, OffloadOp::kMallocBatch, size);
+  NoteMallocTraffic(core, shard, size);
   // Refresh the register mirror from the seeded header: one load of the
   // line every subsequent pop of this half hits anyway. (Both halves were
   // empty or the sync path would not have run, so only the count changes.)
@@ -494,6 +556,8 @@ void NgxAllocator::MaybePostRefill(Env& env, std::uint32_t cls, std::uint64_t re
     return;  // stream too cold; the next miss pays the sync trip and warms it
   }
   predictor_->OnStashRefill(core, cls);
+  const int shard = fabric_->RouteMalloc(core, classes_.SizeOf(cls), cls);
+  StashShard(core, cls) = static_cast<std::int16_t>(shard);
   pipe.in_flight = true;
   pipe.filling = pipe.active ^ 1u;
   pipe.want = want;
@@ -502,7 +566,6 @@ void NgxAllocator::MaybePostRefill(Env& env, std::uint32_t cls, std::uint64_t re
   const std::uint64_t arg = (static_cast<std::uint64_t>(cls) << 24) |
                             (static_cast<std::uint64_t>(want) << 8) |
                             static_cast<std::uint64_t>(pipe.filling);
-  const int shard = fabric_->RouteMalloc(core, classes_.SizeOf(cls), cls);
   // Fire and forget: the server consumes the doorbell and runs the fill on
   // its own clock; the client returns to application work immediately.
   fabric_->AsyncRequestKicked(env, shard, OffloadOp::kRefillStash, arg);
@@ -519,6 +582,13 @@ void NgxAllocator::FlipStash(Env& env, int core, std::uint32_t cls) {
     // other: wait for the publish (the pipeline's only blocking point).
     stall = pipe.publish_time - env.now();
     ++stash_starvation_stalls_;
+    if (FlightRecorder* frec = Recorder()) {
+      // The client is about to jump to the server's publish point: a wait on
+      // server work, attributed like a sync-request spin.
+      if (frec->InClientOp(core)) {
+        frec->AddCycles(FlightRecorder::kSyncStall, stall);
+      }
+    }
     machine_->core(core).AdvanceTo(pipe.publish_time);
     if (Recording()) {
       c_starvation_->Add();
@@ -622,6 +692,7 @@ void NgxAllocator::FlushFreeBuf(Env& env, int shard) {
 }
 
 std::uint64_t NgxAllocator::UsableSize(Env& env, Addr addr) {
+  ClientOpScope op_scope(Recorder(), env);
   if (!config_.offload) {
     return heaps_[0]->UsableSize(env, addr);
   }
@@ -629,6 +700,7 @@ std::uint64_t NgxAllocator::UsableSize(Env& env, Addr addr) {
 }
 
 void NgxAllocator::Flush(Env& env) {
+  ClientOpScope op_scope(Recorder(), env);
   if (!config_.offload) {
     return;
   }
@@ -1071,6 +1143,76 @@ bool NgxAllocator::TryOfferSurplus(Env& server_env, int shard, std::uint64_t fre
   }
   fabric_->SyncRequest(server_env, needy, OffloadOp::kOfferSpans, carved);
   return true;
+}
+
+void NgxAllocator::NoteMallocTraffic(int client, int shard, std::uint64_t size) {
+  FlightRecorder* rec = Recorder();
+  if (rec == nullptr) {
+    return;
+  }
+  // The carved block size the request actually consumed, for the
+  // internal-fragmentation mirror. Aggregated layouts pay a 16-byte inline
+  // header per small block and page-align large regions; segregated and
+  // segment layouts round large regions to whole spans.
+  std::int64_t cls = -1;
+  std::uint64_t block;
+  if (size <= classes_.max_size()) {
+    cls = static_cast<std::int64_t>(classes_.ClassOf(size));
+    block = classes_.SizeOf(static_cast<std::uint32_t>(cls));
+    if (heap_kind_ == HeapKind::kAggregated) {
+      block += 16;
+    }
+  } else if (heap_kind_ == HeapKind::kAggregated) {
+    block = AlignUp(size, kSmallPageBytes);
+  } else {
+    block = AlignUp(size, span_bytes_);
+  }
+  rec->matrix().NoteMalloc(client, shard, size, cls);
+  frag_req_bytes_[static_cast<std::size_t>(shard)] += size;
+  frag_block_bytes_[static_cast<std::size_t>(shard)] += block;
+}
+
+HeapSnapshot NgxAllocator::BuildSnapshot() const {
+  HeapSnapshot snap;
+  snap.shards.reserve(heaps_.size());
+  for (int s = 0; s < num_shards(); ++s) {
+    HeapShardSnapshot sh;
+    sh.shard = s;
+    if (directory_ != nullptr) {
+      sh.owned_spans = directory_->owned_spans(s);
+      sh.free_spans = directory_->free_spans(s);
+      sh.recycled_spans = directory_->recycled_spans(s);
+      sh.granted_spans = directory_->granted_spans(s);
+      sh.away_spans = directory_->away_spans(s);
+    }
+    HeapInspection in = heaps_[static_cast<std::size_t>(s)]->Inspect();
+    sh.bytes_live = in.bytes_live;
+    sh.data_mapped_bytes = in.data_mapped_bytes;
+    sh.meta_mapped_bytes = in.meta_mapped_bytes;
+    sh.free_blocks = in.free_blocks;
+    sh.free_block_bytes = in.free_block_bytes;
+    sh.bump_reserve_bytes = in.bump_reserve_bytes;
+    sh.large_blocks = in.large_blocks;
+    sh.large_bytes = in.large_bytes;
+    sh.empty_pool_segments = in.empty_pool_segments;
+    sh.live_slabs = in.live_slabs;
+    sh.full_slabs = in.full_slabs;
+    sh.slab_fill_decile = std::move(in.slab_fill_decile);
+    sh.truncated = in.truncated;
+    const std::uint64_t req = frag_req_bytes_[static_cast<std::size_t>(s)];
+    const std::uint64_t blk = frag_block_bytes_[static_cast<std::size_t>(s)];
+    if (blk > 0 && req <= blk) {
+      sh.internal_frag_pct =
+          100.0 * (1.0 - static_cast<double>(req) / static_cast<double>(blk));
+    }
+    if (in.data_mapped_bytes > 0 && in.bytes_live <= in.data_mapped_bytes) {
+      sh.external_frag_pct =
+          100.0 * (1.0 - static_cast<double>(in.bytes_live) /
+                             static_cast<double>(in.data_mapped_bytes));
+    }
+    snap.shards.push_back(std::move(sh));
+  }
+  return snap;
 }
 
 AllocatorStats NgxAllocator::stats() const {

@@ -62,6 +62,7 @@
 #include "src/core/span_directory.h"
 #include "src/offload/offload_fabric.h"
 #include "src/offload/prediction.h"
+#include "src/telemetry/flight_recorder.h"
 
 namespace ngx {
 
@@ -141,6 +142,13 @@ class NgxAllocator : public Allocator {
   bool rebalancing() const { return rebalance_; }
   std::uint64_t rebalance_moves() const { return rebalance_moves_; }
   std::uint64_t inline_donation_fallbacks() const { return inline_fallbacks_; }
+
+  // Flight-recorder heap walk (DESIGN.md §13): one HeapShardSnapshot per
+  // shard, built from the span directory, each heap's untimed Inspect() and
+  // the allocator's host-side fragmentation mirrors. Registered as the
+  // recorder's snapshot source at construction; also callable directly for
+  // an on-demand end-of-run snapshot.
+  HeapSnapshot BuildSnapshot() const;
 
  private:
   // Binds one fabric shard's OffloadServer callback to (allocator, shard).
@@ -297,6 +305,19 @@ class NgxAllocator : public Allocator {
   // Lazily binds metric handles; returns whether telemetry is recording.
   bool Recording();
   void BindInstruments();
+  // Flight-recorder handle, or null when the recorder is off.
+  FlightRecorder* Recorder() const {
+    Telemetry& tel = machine_->telemetry();
+    return tel.recording() ? &tel.recorder() : nullptr;
+  }
+  // Traffic-matrix + fragmentation-mirror accounting for one routed malloc
+  // (no-op when the recorder is off).
+  void NoteMallocTraffic(int client, int shard, std::uint64_t size);
+  // The shard whose refill/seed last stocked (core, cls)'s stash -- where a
+  // stash-served malloc's blocks actually came from.
+  std::int16_t& StashShard(int core, std::uint32_t cls) {
+    return stash_shard_[static_cast<std::size_t>(core) * classes_.num_classes() + cls];
+  }
   // Remembers which core obtained a live block (telemetry-only bookkeeping,
   // host side; used to classify frees as same-core vs cross-core).
   void NoteAlloc(Addr addr, int core) {
@@ -355,6 +376,13 @@ class NgxAllocator : public Allocator {
   std::uint64_t freebuf_slot_ = 0;    // per shard within a core's block
   std::uint64_t buffered_frees_ = 0;
   std::uint64_t free_flushes_ = 0;
+  // Flight-recorder host mirrors. stash_shard_ tracks which shard last
+  // stocked each (core, class) stash; the frag mirrors accumulate requested
+  // vs carved block bytes per shard for the internal-fragmentation report
+  // (only advanced while the recorder is on).
+  std::vector<std::int16_t> stash_shard_;      // (core, class), default 0
+  std::vector<std::uint64_t> frag_req_bytes_;    // per shard
+  std::vector<std::uint64_t> frag_block_bytes_;  // per shard
 
   // Telemetry handles (host-side observation only; see src/telemetry/).
   bool instruments_bound_ = false;

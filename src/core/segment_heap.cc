@@ -159,6 +159,8 @@ Addr SegmentHeap::MallocLarge(Env& env, std::uint64_t size) {
   env.Store<std::uint16_t>(layout_.ClassMapAddr(layout_.UnitIndex(addr)), kTagLarge);
   env.Store<std::uint64_t>(layout_.LargeBytesAddr(layout_.SegIndex(addr)), bytes);
   stats_.bytes_live += bytes;
+  ++large_blocks_;
+  large_bytes_ += bytes;
   return addr;
 }
 
@@ -174,6 +176,8 @@ void SegmentHeap::Free(Env& env, Addr addr) {
   if (tag == kTagLarge) {
     const std::uint64_t bytes = env.Load<std::uint64_t>(layout_.LargeBytesAddr(layout_.SegIndex(addr)));
     stats_.bytes_live -= bytes;
+    --large_blocks_;
+    large_bytes_ -= bytes;
     env.Store<std::uint16_t>(layout_.ClassMapAddr(layout_.UnitIndex(addr)), kTagFree);
     ++stats_.munmap_calls;
     span_provider_.Unmap(env, addr, bytes);
@@ -420,6 +424,57 @@ std::int64_t SegmentHeap::ClassifyForRecycle(Env& env, Addr addr) {
     return -1;
   }
   return static_cast<std::int64_t>(tag - kTagClassBase);
+}
+
+HeapInspection SegmentHeap::Inspect() const {
+  HeapInspection in;
+  in.bytes_live = stats_.bytes_live;
+  in.data_mapped_bytes = span_provider_.mapped_bytes();
+  in.meta_mapped_bytes = meta_provider_.mapped_bytes();
+  in.large_blocks = large_blocks_;
+  in.large_bytes = large_bytes_;
+  in.slab_fill_decile.assign(11, 0);
+  const SimMemory& mem = machine_->memory();
+  if (config_.empty_segment_retain > 0) {
+    // IndexStack keeps its depth in the first word at the pool base.
+    in.empty_pool_segments = mem.Read<std::uint64_t>(layout_.EmptyPoolAddr());
+  }
+  // Walk each class's available-slab list. Exhausted slabs are unlinked, so
+  // the walk covers exactly the partial population; the full population is
+  // the remainder of acquires - retires.
+  constexpr std::uint64_t kWalkCap = 4096;
+  std::uint64_t walked = 0;
+  for (std::uint32_t cls = 0; cls < classes_.num_classes(); ++cls) {
+    const std::uint64_t bs = classes_.SizeOf(cls);
+    const std::uint32_t bps = BlocksPerSlab(cls);
+    Addr header = mem.Read<Addr>(layout_.ClassHeadAddr(cls));
+    while (header != 0) {
+      if (walked >= kWalkCap) {
+        in.truncated = true;
+        break;
+      }
+      ++walked;
+      const std::uint64_t state = mem.Read<std::uint64_t>(header);
+      const std::uint32_t fc = SlabFreeCount(state);
+      const std::uint32_t bu = SlabBumpUsed(state);
+      ++in.live_slabs;
+      in.free_blocks += fc;
+      in.free_block_bytes += fc * bs;
+      in.bump_reserve_bytes += static_cast<std::uint64_t>(bps - bu) * bs;
+      const std::uint32_t live = bu - fc;
+      const std::size_t bucket =
+          live >= bps ? 10 : (static_cast<std::uint64_t>(live) * 10) / bps;
+      ++in.slab_fill_decile[bucket];
+      header = mem.Read<Addr>(header + 8);
+    }
+  }
+  const std::uint64_t total_slabs =
+      seg_stats_.slab_acquires - seg_stats_.slab_retires;
+  if (!in.truncated && total_slabs > in.live_slabs) {
+    in.full_slabs = total_slabs - in.live_slabs;
+    in.slab_fill_decile[10] += in.full_slabs;
+  }
+  return in;
 }
 
 AllocatorStats SegmentHeap::stats() const {

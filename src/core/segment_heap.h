@@ -47,6 +47,7 @@ class SegmentHeap : public ServerHeap {
   std::uint64_t UsableSize(Env& env, Addr addr) override;
   std::int64_t ClassifyForRecycle(Env& env, Addr addr) override;
   AllocatorStats stats() const override;
+  HeapInspection Inspect() const override;
   PageProvider& span_provider() override { return span_provider_; }
 
   const SegmentHeapStats& segment_stats() const { return seg_stats_; }
@@ -103,6 +104,10 @@ class SegmentHeap : public ServerHeap {
   SimLock lock_;
   AllocatorStats stats_;
   SegmentHeapStats seg_stats_;
+  // Host mirrors of the large-mapping population so Inspect() never has to
+  // sweep the sparse large map.
+  std::uint64_t large_blocks_ = 0;
+  std::uint64_t large_bytes_ = 0;
 
   bool instruments_bound_ = false;
   Counter* c_slab_reuses_ = nullptr;

@@ -30,7 +30,8 @@ class SegregatedHeap : public ServerHeap {
  public:
   SegregatedHeap(Machine& machine, Addr heap_base, Addr meta_base,
                  const ServerHeapConfig& config)
-      : config_(config),
+      : machine_(&machine),
+        config_(config),
         classes_(config.small_max),
         span_provider_(heap_base, config.window_bytes ? config.window_bytes : kHeapWindow,
                        "ngx-span"),
@@ -93,6 +94,8 @@ class SegregatedHeap : public ServerHeap {
     if (tag == kTagLarge) {
       const std::uint64_t bytes = env.Load<std::uint64_t>(LargeBytesAddr(span));
       stats_.bytes_live -= bytes;
+      --large_blocks_;
+      large_bytes_ -= bytes;
       env.Store<std::uint16_t>(SpanTagAddr(span), kTagFree);
       ++stats_.munmap_calls;
       span_provider_.Unmap(env, addr, bytes);
@@ -138,6 +141,28 @@ class SegregatedHeap : public ServerHeap {
     s.mmap_calls = span_provider_.mmap_calls();
     s.munmap_calls = span_provider_.munmap_calls();
     return s;
+  }
+
+  HeapInspection Inspect() const override {
+    HeapInspection in;
+    in.bytes_live = stats_.bytes_live;
+    in.data_mapped_bytes = span_provider_.mapped_bytes();
+    in.meta_mapped_bytes = meta_provider_.mapped_bytes();
+    // Per-class occupancy from the side tables: the dense stack's count word
+    // (untimed read) plus the sparse overflow's host-side depth mirror; the
+    // cursor pair's remaining word gives the bump reserve. O(num_classes).
+    const SimMemory& mem = machine_->memory();
+    for (std::uint32_t cls = 0; cls < classes_.num_classes(); ++cls) {
+      const std::uint64_t depth =
+          mem.Read<std::uint64_t>(meta_base_ + stacks_off_ + stack_stride_ * cls) +
+          overflow_depth_[cls];
+      in.free_blocks += depth;
+      in.free_block_bytes += depth * classes_.SizeOf(cls);
+      in.bump_reserve_bytes += mem.Read<std::uint64_t>(CursorAddr(cls) + 8);
+    }
+    in.large_blocks = large_blocks_;
+    in.large_bytes = large_bytes_;
+    return in;
   }
 
   PageProvider& span_provider() override { return span_provider_; }
@@ -235,9 +260,12 @@ class SegregatedHeap : public ServerHeap {
     env.Store<std::uint16_t>(SpanTagAddr(span), kTagLarge);
     env.Store<std::uint64_t>(LargeBytesAddr(span), bytes);
     stats_.bytes_live += bytes;
+    ++large_blocks_;
+    large_bytes_ += bytes;
     return addr;
   }
 
+  Machine* machine_;
   ServerHeapConfig config_;
   SizeClasses classes_;
   PageProvider span_provider_;
@@ -252,6 +280,8 @@ class SegregatedHeap : public ServerHeap {
   std::uint64_t overflow_off_ = 0;
   std::uint64_t overflow_stride_ = 0;
   std::vector<std::uint64_t> overflow_depth_;  // host mirror, one per class
+  std::uint64_t large_blocks_ = 0;  // host mirrors for Inspect()
+  std::uint64_t large_bytes_ = 0;
   SimLock lock_;
   AllocatorStats stats_;
 };
@@ -267,12 +297,14 @@ class AggregatedHeap : public ServerHeap {
  public:
   AggregatedHeap(Machine& machine, Addr heap_base, Addr meta_base,
                  const ServerHeapConfig& config)
-      : config_(config),
+      : machine_(&machine),
+        config_(config),
         classes_(config.small_max),
         provider_(heap_base, config.window_bytes ? config.window_bytes : kHeapWindow,
                   "ngx-agg"),
         lock_(0) {
     const std::uint32_t ncls = classes_.num_classes();
+    free_count_.assign(ncls, 0);
     meta_provider_ = std::make_unique<PageProvider>(
         meta_base,
         config.meta_window_bytes ? config.meta_window_bytes
@@ -299,6 +331,9 @@ class AggregatedHeap : public ServerHeap {
       const std::uint64_t bs = classes_.SizeOf(cls) + 16;  // header keeps 16-alignment
       IntrusiveFreeList list(HeadAddr(cls));
       Addr block = list.Pop(env);  // touches the block's own line
+      if (block != kNullAddr) {
+        --free_count_[cls];
+      }
       if (block == kNullAddr) {
         block = Carve(env, cls, bs);
         if (block != kNullAddr) {
@@ -328,6 +363,8 @@ class AggregatedHeap : public ServerHeap {
     if (header & kLargeFlag) {
       const std::uint64_t bytes = header & ~kLargeFlag;
       stats_.bytes_live -= bytes - kSmallPageBytes;
+      --large_blocks_;
+      large_bytes_ -= bytes;
       ++stats_.munmap_calls;
       provider_.Unmap(env, addr - kSmallPageBytes, bytes);
     } else {
@@ -335,6 +372,7 @@ class AggregatedHeap : public ServerHeap {
       stats_.bytes_live -= classes_.SizeOf(cls);
       IntrusiveFreeList list(HeadAddr(cls));
       list.Push(env, addr - 16);  // link lives at block+0; class tag at +8 survives
+      ++free_count_[cls];
     }
     MaybeUnlock(env);
   }
@@ -361,6 +399,25 @@ class AggregatedHeap : public ServerHeap {
     s.mmap_calls = provider_.mmap_calls();
     s.munmap_calls = provider_.munmap_calls();
     return s;
+  }
+
+  HeapInspection Inspect() const override {
+    HeapInspection in;
+    in.bytes_live = stats_.bytes_live;
+    in.data_mapped_bytes = provider_.mapped_bytes();
+    in.meta_mapped_bytes = meta_provider_->mapped_bytes();
+    // Intrusive lists are unbounded to walk, so the free depths come from
+    // host mirrors kept by Malloc/Free; only the cursor's remaining word is
+    // read (untimed) from simulated memory.
+    const SimMemory& mem = machine_->memory();
+    for (std::uint32_t cls = 0; cls < classes_.num_classes(); ++cls) {
+      in.free_blocks += free_count_[cls];
+      in.free_block_bytes += free_count_[cls] * (classes_.SizeOf(cls) + 16);
+      in.bump_reserve_bytes += mem.Read<std::uint64_t>(CursorAddr(cls) + 8);
+    }
+    in.large_blocks = large_blocks_;
+    in.large_bytes = large_bytes_;
+    return in;
   }
 
   PageProvider& span_provider() override { return provider_; }
@@ -415,14 +472,20 @@ class AggregatedHeap : public ServerHeap {
     const Addr addr = region + kSmallPageBytes;
     env.Store<std::uint64_t>(addr - 8, bytes | kLargeFlag);
     stats_.bytes_live += bytes - kSmallPageBytes;
+    ++large_blocks_;
+    large_bytes_ += bytes;
     return addr;
   }
 
+  Machine* machine_;
   ServerHeapConfig config_;
   SizeClasses classes_;
   PageProvider provider_;
   std::unique_ptr<PageProvider> meta_provider_;
   Addr meta_base_ = 0;
+  std::vector<std::uint64_t> free_count_;  // host mirror, one per class
+  std::uint64_t large_blocks_ = 0;         // host mirrors for Inspect()
+  std::uint64_t large_bytes_ = 0;
   SimLock lock_;
   AllocatorStats stats_;
 };

@@ -24,6 +24,7 @@ SpanDirectory::SpanDirectory(Addr heap_base, std::uint64_t window_bytes,
   take_cursor_.assign(static_cast<std::size_t>(num_shards), 0);
   free_spans_.assign(static_cast<std::size_t>(num_shards), per_shard);
   away_spans_.assign(static_cast<std::size_t>(num_shards), 0);
+  owned_spans_.assign(static_cast<std::size_t>(num_shards), per_shard);
   donated_out_.assign(static_cast<std::size_t>(num_shards), 0);
   donated_in_.assign(static_cast<std::size_t>(num_shards), 0);
   returned_out_.assign(static_cast<std::size_t>(num_shards), 0);
@@ -178,6 +179,8 @@ void SpanDirectory::MoveFreeRun(std::uint64_t first, std::uint64_t count, int fr
   }
   free_spans_[static_cast<std::size_t>(from)] -= count;
   free_spans_[static_cast<std::size_t>(to)] += count;
+  owned_spans_[static_cast<std::size_t>(from)] -= count;
+  owned_spans_[static_cast<std::size_t>(to)] += count;
 }
 
 void SpanDirectory::TransferRange(Addr base, std::uint64_t nspans, int from, int to) {
@@ -296,6 +299,18 @@ std::uint64_t SpanDirectory::total_returned() const {
 
 std::uint64_t SpanDirectory::away_spans(int shard) const {
   return away_spans_[static_cast<std::size_t>(shard)];
+}
+
+std::uint64_t SpanDirectory::owned_spans(int shard) const {
+  return owned_spans_[static_cast<std::size_t>(shard)];
+}
+
+std::uint64_t SpanDirectory::recycled_spans(int shard) const {
+  std::uint64_t total = 0;
+  for (const SpanRun& r : recycled_[static_cast<std::size_t>(shard)]) {
+    total += r.count;
+  }
+  return total;
 }
 
 }  // namespace ngx

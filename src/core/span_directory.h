@@ -118,6 +118,15 @@ class SpanDirectory {
   // Spans owned by `shard` whose home is another shard (any state): the
   // return protocol's "work remaining" signal.
   std::uint64_t away_spans(int shard) const;
+  // All spans currently owned by `shard`, whatever their state: the flight
+  // recorder's occupancy denominator.
+  std::uint64_t owned_spans(int shard) const;
+  // Granted (mapped or partially mapped) spans owned by `shard`.
+  std::uint64_t granted_spans(int shard) const {
+    return owned_spans(shard) - free_spans(shard);
+  }
+  // Recycled spans owned by `shard` (subset of free).
+  std::uint64_t recycled_spans(int shard) const;
 
   // Recycled runs of `shard` (disjoint; coalesced with the most recently
   // appended run, not globally sorted) -- diagnostics and the lifecycle
@@ -154,6 +163,7 @@ class SpanDirectory {
   std::vector<std::size_t> take_cursor_;        // per shard, next-fit resume index
   std::vector<std::uint64_t> free_spans_;
   std::vector<std::uint64_t> away_spans_;
+  std::vector<std::uint64_t> owned_spans_;
   std::vector<std::uint64_t> donated_out_;
   std::vector<std::uint64_t> donated_in_;
   std::vector<std::uint64_t> returned_out_;

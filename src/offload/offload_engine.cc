@@ -128,6 +128,12 @@ void OffloadEngine::DrainRing(Env& server_env, int client) {
         NoteCarveCycles(server_env.now() - c0);
         ++stats_.async_ops;
       });
+  if (FlightRecorder* rec = Recorder()) {
+    // The whole drain window (including empty polls reaching this far) is
+    // server-busy time; the carve handlers inside it were already attributed
+    // through NoteCarveCycles, so drain overhead falls out as the difference.
+    rec->AddCycles(FlightRecorder::kServerBusy, server_env.now() - t0);
+  }
   if (n > 0 && Recording()) {
     h_drain_batch_->Record(n);
     c_async_ops_->Add(n);
@@ -145,6 +151,9 @@ std::uint64_t OffloadEngine::SyncRequest(Env& client_env, OffloadOp op, std::uin
   Channel& ch = channels_[client];
   const std::uint64_t seq = ++seq_[client];
   const std::uint64_t t0 = client_env.now();
+  if (FlightRecorder* rec = Recorder()) {
+    rec->matrix().NoteSync(client, shard_id_);
+  }
 
   // Client publishes the request.
   ch.ClientSend(client_env, seq, op, arg);
@@ -171,6 +180,7 @@ std::uint64_t OffloadEngine::SyncRequest(Env& client_env, OffloadOp op, std::uin
     ++stats_.server_busy_waits;
   }
   server.AdvanceTo(send_time);
+  const std::uint64_t busy0 = server_env.now();
   server_env.Work(poll_work_);
 
   const std::uint64_t service_start = server_env.now();
@@ -183,6 +193,15 @@ std::uint64_t OffloadEngine::SyncRequest(Env& client_env, OffloadOp op, std::uin
   }
   ch.ServerRespond(server_env, seq, result);
 
+  if (FlightRecorder* rec = Recorder()) {
+    rec->AddCycles(FlightRecorder::kServerBusy, server_env.now() - busy0);
+    // What the spin below will cost the client: its clock jump to the
+    // server's publish point. Only counted inside a client op so the
+    // rebalancer's own control round trips stay out of the table.
+    if (rec->InClientOp(client) && server_env.now() > client_env.now()) {
+      rec->AddCycles(FlightRecorder::kSyncStall, server_env.now() - client_env.now());
+    }
+  }
   // Client spins until the response is visible, then reads it.
   machine_->core(client).AdvanceTo(server_env.now());
   const std::uint64_t out = ch.ClientReceive(client_env, seq);
@@ -205,6 +224,9 @@ void OffloadEngine::AsyncRequest(Env& client_env, OffloadOp op, std::uint64_t ar
   assert(server_ != nullptr);
   assert(op == OffloadOp::kFree && "only frees are fire-and-forget");
   const int client = client_env.core_id();
+  if (FlightRecorder* rec = Recorder()) {
+    rec->matrix().NoteAsync(client, shard_id_, 1);
+  }
   Channel& ch = channels_[client];
   std::uint64_t occupancy;
   if (producer_cache_) {
@@ -249,6 +271,9 @@ void OffloadEngine::AsyncRequestBatch(Env& client_env, const std::uint64_t* addr
   NGX_CHECK(n > 0 && n <= channels_[0].ring_capacity(),
             "async batch cannot exceed the ring capacity");
   const int client = client_env.core_id();
+  if (FlightRecorder* rec = Recorder()) {
+    rec->matrix().NoteAsync(client, shard_id_, n);
+  }
   Channel& ch = channels_[client];
   std::uint64_t occupancy;
   if (producer_cache_) {
@@ -288,6 +313,9 @@ std::uint64_t OffloadEngine::AsyncRequestKicked(Env& client_env, OffloadOp op,
   assert(server_ != nullptr);
   NGX_CHECK((arg & ~kRingArgMask) == 0, "tagged ring arg must leave the top byte free");
   const int client = client_env.core_id();
+  if (FlightRecorder* rec = Recorder()) {
+    rec->matrix().NoteAsync(client, shard_id_, 1);
+  }
   Channel& ch = channels_[client];
   std::uint64_t occupancy;
   if (producer_cache_) {
@@ -341,6 +369,13 @@ void OffloadEngine::StallOnFullRing(Env& client_env, int client) {
   DrainRing(server_env, client);
   if (post_drain_hook_) {
     post_drain_hook_(server_env);
+  }
+  if (FlightRecorder* rec = Recorder()) {
+    // The backpressure cost the client is about to pay: its clock jump to
+    // the drain's finish.
+    if (rec->InClientOp(client) && server_env.now() > client_env.now()) {
+      rec->AddCycles(FlightRecorder::kRingWait, server_env.now() - client_env.now());
+    }
   }
   machine_->core(client).AdvanceTo(server_env.now());
 }

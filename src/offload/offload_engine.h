@@ -135,6 +135,12 @@ class OffloadEngine {
     }
     return true;
   }
+  // Flight-recorder handle, or null when the recorder is off. Observational:
+  // every use reads clocks/counters and never advances them.
+  FlightRecorder* Recorder() {
+    Telemetry& tel = machine_->telemetry();
+    return tel.recording() ? &tel.recorder() : nullptr;
+  }
 
   // Per-client producer registers (host-side mirrors of simulated state; see
   // set_producer_index_cache). `head` shadows the value the client last
@@ -151,8 +157,13 @@ class OffloadEngine {
   // Host-side accounting of server cycles spent in carve-path handlers.
   void NoteCarveCycles(std::uint64_t cycles) {
     stats_.carve_cycles += cycles;
-    if (cycles > 0 && Recording()) {
-      c_carve_cycles_->Add(cycles);
+    if (cycles > 0) {
+      if (Recording()) {
+        c_carve_cycles_->Add(cycles);
+      }
+      if (FlightRecorder* rec = Recorder()) {
+        rec->AddCycles(FlightRecorder::kServerCarve, cycles);
+      }
     }
   }
 

@@ -63,6 +63,8 @@ void Machine::EnableTelemetry(const TelemetryConfig& config) {
     }
   }
   next_pmu_snapshot_.assign(cores_.size(), 0);
+  recorder_snapshots_ = telemetry_.recording() && config.recorder_snapshot_interval > 0;
+  next_recorder_snapshot_ = 0;
 }
 
 void Machine::MaybePmuSnapshot(int core_id) {
@@ -79,6 +81,34 @@ void Machine::MaybePmuSnapshot(int core_id) {
   tr.Counter(prefix + "dtlb_misses", c.now(), p.dtlb_load_misses + p.dtlb_store_misses);
   tr.Counter(prefix + "alloc_cycles", c.now(), p.alloc_cycles);
   next = c.now() + telemetry_.config().pmu_snapshot_interval;
+}
+
+void Machine::MaybeRecorderSnapshot(int core_id) {
+  FlightRecorder& rec = telemetry_.recorder();
+  if (!rec.has_snapshot_source()) {
+    return;
+  }
+  const Core& c = core(core_id);
+  if (c.now() < next_recorder_snapshot_) {
+    return;
+  }
+  next_recorder_snapshot_ = c.now() + telemetry_.config().recorder_snapshot_interval;
+  const HeapSnapshot* snap = rec.TakeSnapshot(c.now(), /*on_demand=*/false);
+  if (snap == nullptr || !telemetry_.tracing()) {
+    return;
+  }
+  // Counter tracks next to the PMU samples: one time series per shard for
+  // the occupancy figures the viewer can plot. Fragmentation goes out in
+  // basis points (the counter channel is integer-valued).
+  Tracer& tr = telemetry_.tracer();
+  for (const HeapShardSnapshot& s : snap->shards) {
+    const std::string prefix = "shard" + std::to_string(s.shard) + ".";
+    tr.Counter(prefix + "bytes_live", snap->cycle, s.bytes_live);
+    tr.Counter(prefix + "data_mapped_bytes", snap->cycle, s.data_mapped_bytes);
+    tr.Counter(prefix + "free_spans", snap->cycle, s.free_spans);
+    tr.Counter(prefix + "external_frag_bp", snap->cycle,
+               static_cast<std::uint64_t>(s.external_frag_pct * 100.0));
+  }
 }
 
 const Machine::DirEntry* Machine::FindDir(Addr line) const {
@@ -167,6 +197,9 @@ std::uint64_t Machine::Access(int core_id, Addr addr, std::uint32_t size, Access
   c.ChargeAccess(type, raw);
   if (pmu_snapshots_) {
     MaybePmuSnapshot(core_id);
+  }
+  if (recorder_snapshots_) {
+    MaybeRecorderSnapshot(core_id);
   }
   return raw;
 }

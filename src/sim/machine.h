@@ -197,6 +197,11 @@ class Machine {
   // Emits per-core PMU counter samples into the tracer when the core's clock
   // has crossed its next snapshot point. Reads counters and clocks only.
   void MaybePmuSnapshot(int core_id);
+  // Takes a periodic flight-recorder heap snapshot when the accessing core's
+  // clock has crossed the global next-due point. Rides the (deterministic)
+  // access stream -- never timer hooks, whose catch-up AdvanceTo would make
+  // recorder-on runs diverge from recorder-off ones. Reads state only.
+  void MaybeRecorderSnapshot(int core_id);
   // Background fill of `line` into the LLC and the core's private caches
   // (prefetch): no latency, no demand counters, skipped if remotely owned.
   void PrefetchLine(int core_id, Addr line);
@@ -230,6 +235,8 @@ class Machine {
   Telemetry telemetry_;
   bool pmu_snapshots_ = false;
   std::vector<std::uint64_t> next_pmu_snapshot_;  // per core, in cycles
+  bool recorder_snapshots_ = false;
+  std::uint64_t next_recorder_snapshot_ = 0;  // global, vs accessing core's clock
   std::vector<IdleHook> idle_hooks_;
   int next_idle_hook_id_ = 0;
   std::vector<TimerHook> timer_hooks_;

@@ -9,6 +9,7 @@
 #ifndef NGX_SRC_TELEMETRY_TELEMETRY_H_
 #define NGX_SRC_TELEMETRY_TELEMETRY_H_
 
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace_event.h"
 
@@ -25,6 +26,12 @@ struct TelemetryConfig {
   std::uint64_t pmu_snapshot_interval = 0;
   // Trace buffer cap; events beyond it are dropped and counted.
   std::uint64_t max_trace_events = Tracer::kDefaultMaxEvents;
+  // Flight recorder (DESIGN.md §13): traffic matrix, heap snapshots, cycle
+  // attribution (requires `enabled`).
+  bool recorder = false;
+  // Cycles between periodic heap introspection snapshots (0 = on-demand
+  // snapshots only; requires `recorder`).
+  std::uint64_t recorder_snapshot_interval = 0;
 };
 
 class Telemetry {
@@ -36,17 +43,21 @@ class Telemetry {
 
   bool enabled() const { return config_.enabled; }
   bool tracing() const { return config_.enabled && config_.trace; }
+  bool recording() const { return config_.enabled && config_.recorder; }
   const TelemetryConfig& config() const { return config_; }
 
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+  FlightRecorder& recorder() { return recorder_; }
+  const FlightRecorder& recorder() const { return recorder_; }
 
  private:
   TelemetryConfig config_;
   MetricsRegistry metrics_;
   Tracer tracer_;
+  FlightRecorder recorder_;
 };
 
 }  // namespace ngx

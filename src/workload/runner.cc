@@ -66,6 +66,21 @@ RunResult RunWorkload(Machine& machine, Allocator& alloc, Workload& workload,
     result.slab_reuses = m.CounterTotal("ngx.slab_reuses", {});
     result.fresh_slab_carves = m.CounterTotal("ngx.slab_fresh", {});
   }
+  if (machine.telemetry().recording()) {
+    FlightRecorder& rec = machine.telemetry().recorder();
+    // One on-demand end-of-run snapshot so every recorder run reports final
+    // occupancy even when the periodic cadence is off.
+    if (rec.has_snapshot_source()) {
+      const HeapSnapshot* end_snap = rec.TakeSnapshot(result.wall_cycles, true);
+      if (end_snap != nullptr) {
+        result.final_snapshot = *end_snap;
+      }
+    }
+    result.recorder_enabled = true;
+    result.traffic_matrix = rec.matrix();
+    result.attribution = rec.attribution();
+    result.snapshots = rec.snapshots();
+  }
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/metrics.h"
 #include "src/workload/workload.h"
 
@@ -55,6 +56,17 @@ struct RunResult {
   std::uint64_t server_carve_cycles = 0;
   std::uint64_t slab_reuses = 0;
   std::uint64_t fresh_slab_carves = 0;
+  // Flight-recorder digests (recorder-enabled runs only; DESIGN.md §13):
+  // the client x shard traffic matrix, the per-op cycle-attribution totals,
+  // every periodic heap snapshot taken during the run, and one on-demand
+  // end-of-run snapshot (also appended to `snapshots`). All purely
+  // observational; a recorder-on run's sim state is bit-identical to the
+  // same run with the recorder off.
+  bool recorder_enabled = false;
+  TrafficMatrix traffic_matrix;
+  CycleAttribution attribution;
+  std::vector<HeapSnapshot> snapshots;
+  HeapSnapshot final_snapshot;
 
   // Fraction of application-core cycles spent inside allocator code.
   double MallocTimeShare() const { return app.AllocCycleShare(); }

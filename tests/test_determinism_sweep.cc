@@ -203,6 +203,115 @@ TEST_P(SeedSweepTest, StashPipelineDeterministicPerSeed) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
                          ::testing::Values(1ull, 2ull, 42ull, 0xdeadbeefull, 123456789ull));
 
+// ---- Flight recorder observability ----
+//
+// The flight recorder (DESIGN.md §13) promises pure observation: a run with
+// the recorder on (traffic matrix, periodic heap snapshots, cycle
+// attribution) must replay the exact same simulated history as the same run
+// with it off, across shard counts and both carve-path heap layouts.
+
+struct RecorderRunState {
+  RunResult r;
+  std::vector<std::uint64_t> free_spans;
+};
+
+RecorderRunState RunRecorderChurn(int shards, HeapKind kind, bool recorder) {
+  const int clients = 4;
+  Machine machine(MachineConfig::Default(clients + shards));
+  if (recorder) {
+    TelemetryConfig tc;
+    tc.enabled = true;
+    tc.recorder = true;
+    tc.recorder_snapshot_interval = 200000;  // many snapshots per run
+    machine.EnableTelemetry(tc);
+  }
+  NgxConfig cfg;
+  cfg.num_shards = shards;
+  cfg.heap_kind = kind;
+  cfg.hugepage_spans = false;          // 64 KiB grants, like the sweeps above
+  cfg.heap_window = 32 * 1024 * 1024;
+  std::vector<int> servers;
+  for (int s = 0; s < shards; ++s) {
+    servers.push_back(clients + s);
+  }
+  NgxSystem sys = MakeNgxSystem(machine, cfg, servers);
+  ChurnConfig wl;
+  wl.live_blocks = 120;
+  wl.ops = 1500;
+  wl.min_size = 16;
+  wl.max_size = 48 * 1024;  // large tail exercises the large paths too
+  Churn workload(wl);
+  RunOptions opt;
+  opt.cores = {0, 1, 2, 3};
+  opt.server_cores = servers;
+  opt.seed = 42;
+  RecorderRunState out{RunWorkload(machine, *sys.allocator, workload, opt), {}};
+  sys.fabric->DrainAll();
+  // Single-shard systems have no span directory (nothing to rebalance).
+  if (const SpanDirectory* d = sys.allocator->directory()) {
+    for (int s = 0; s < shards; ++s) {
+      out.free_spans.push_back(d->free_spans(s));
+    }
+  }
+  return out;
+}
+
+class RecorderSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, HeapKind>> {};
+
+TEST_P(RecorderSweepTest, FlightRecorderIsPurelyObservational) {
+  const int shards = std::get<0>(GetParam());
+  const HeapKind kind = std::get<1>(GetParam());
+  const RecorderRunState off = RunRecorderChurn(shards, kind, false);
+  const RecorderRunState on = RunRecorderChurn(shards, kind, true);
+
+  EXPECT_EQ(off.r.wall_cycles, on.r.wall_cycles);
+  ASSERT_EQ(off.r.per_core.size(), on.r.per_core.size());
+  for (std::size_t c = 0; c < off.r.per_core.size(); ++c) {
+    EXPECT_EQ(off.r.per_core[c].cycles, on.r.per_core[c].cycles) << "core " << c;
+    EXPECT_EQ(off.r.per_core[c].instructions, on.r.per_core[c].instructions)
+        << "core " << c;
+    EXPECT_EQ(off.r.per_core[c].llc_load_misses, on.r.per_core[c].llc_load_misses)
+        << "core " << c;
+    EXPECT_EQ(off.r.per_core[c].llc_store_misses, on.r.per_core[c].llc_store_misses)
+        << "core " << c;
+    EXPECT_EQ(off.r.per_core[c].dtlb_load_misses, on.r.per_core[c].dtlb_load_misses)
+        << "core " << c;
+    EXPECT_EQ(off.r.per_core[c].atomic_rmws, on.r.per_core[c].atomic_rmws)
+        << "core " << c;
+    EXPECT_EQ(off.r.per_core[c].alloc_cycles, on.r.per_core[c].alloc_cycles)
+        << "core " << c;
+  }
+  EXPECT_EQ(off.r.alloc_stats.mallocs, on.r.alloc_stats.mallocs);
+  EXPECT_EQ(off.r.alloc_stats.frees, on.r.alloc_stats.frees);
+  EXPECT_EQ(off.r.alloc_stats.bytes_live, on.r.alloc_stats.bytes_live);
+  EXPECT_EQ(off.r.alloc_stats.mapped_bytes, on.r.alloc_stats.mapped_bytes);
+  EXPECT_EQ(off.free_spans, on.free_spans);
+
+  // The recorder run must actually have recorded something for the
+  // comparison to mean anything.
+  EXPECT_FALSE(off.r.recorder_enabled);
+  ASSERT_TRUE(on.r.recorder_enabled);
+  EXPECT_GT(on.r.attribution.total(), 0u);
+  EXPECT_FALSE(on.r.snapshots.empty()) << "periodic snapshots must have fired";
+  ASSERT_EQ(on.r.final_snapshot.shards.size(), static_cast<std::size_t>(shards));
+  std::uint64_t matrix_mallocs = 0;
+  for (int cl = 0; cl < on.r.traffic_matrix.num_clients(); ++cl) {
+    for (int sh = 0; sh < on.r.traffic_matrix.num_shards(); ++sh) {
+      if (const TrafficCell* cell = on.r.traffic_matrix.CellOrNull(cl, sh)) {
+        matrix_mallocs += cell->mallocs + cell->large_mallocs;
+      }
+    }
+  }
+  EXPECT_EQ(matrix_mallocs, on.r.alloc_stats.mallocs)
+      << "every malloc must land in exactly one matrix cell";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardsByHeap, RecorderSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(HeapKind::kSegregated, HeapKind::kSegment)));
+
 class ThreadSweepTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(ThreadSweepTest, XmallocScalesOnTcmalloc) {

@@ -220,6 +220,21 @@ TEST(Tracer, DropsBeyondCapWithoutGrowing) {
   EXPECT_TRUE(JsonValidate(tr.ToChromeTraceJson()));
 }
 
+TEST(Tracer, ReportsDroppedEventsInTraceMetadata) {
+  // A saturated buffer must say so in the exported file: consumers can then
+  // distinguish "quiet run" from "truncated capture".
+  Tracer tr(/*max_events=*/2);
+  for (int i = 0; i < 7; ++i) {
+    tr.Instant("e", 0, static_cast<std::uint64_t>(i));
+  }
+  const std::string json = tr.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"dropped_events\":5"), std::string::npos) << json;
+  // An unsaturated tracer reports zero, not nothing.
+  Tracer ok(/*max_events=*/16);
+  ok.Instant("e", 0, 1);
+  EXPECT_NE(ok.ToChromeTraceJson().find("\"dropped_events\":0"), std::string::npos);
+}
+
 // ---- End-to-end: instrumentation on a real offloaded run ----
 
 RunResult RunOffloaded(Machine& machine) {
@@ -311,6 +326,117 @@ TEST(TelemetryDeterminism, ShardSyncLatencyDigestIsPopulatedAndSane) {
   // Without telemetry the digest stays empty.
   Machine off(MachineConfig::Default(2));
   EXPECT_TRUE(RunOffloaded(off).shard_sync_latency.empty());
+}
+
+// ---- Flight recorder (DESIGN.md §13) ----
+
+TEST(FlightRecorder, AttributionBucketsAreAnExactDecomposition) {
+  Machine machine(MachineConfig::Default(2));
+  TelemetryConfig tc;
+  tc.enabled = true;
+  tc.recorder = true;
+  machine.EnableTelemetry(tc);
+  const RunResult r = RunOffloaded(machine);
+
+  ASSERT_TRUE(r.recorder_enabled);
+  const CycleAttribution& at = r.attribution;
+  EXPECT_GT(at.client_op, 0u) << "allocator ops must have been scoped";
+  EXPECT_GT(at.server_busy, 0u) << "the shard core must have served requests";
+  // Exact by construction, not within a tolerance: the derived buckets are
+  // defined as the remainders of the two measured windows.
+  EXPECT_EQ(at.client_path() + at.sync_stall + at.ring_wait, at.client_op);
+  EXPECT_EQ(at.server_carve + at.server_drain(), at.server_busy);
+  EXPECT_EQ(at.client_op + at.server_busy, at.total());
+  // The client spends at most its own wall clock inside allocator ops.
+  EXPECT_LE(at.client_op, r.wall_cycles);
+}
+
+TEST(FlightRecorder, TrafficMatrixAccountsEveryOperation) {
+  Machine machine(MachineConfig::Default(2));
+  TelemetryConfig tc;
+  tc.enabled = true;
+  tc.recorder = true;
+  machine.EnableTelemetry(tc);
+  const RunResult r = RunOffloaded(machine);
+
+  const TrafficMatrix& tm = r.traffic_matrix;
+  ASSERT_GE(tm.num_clients(), 1);
+  EXPECT_EQ(tm.num_shards(), 1);
+  std::uint64_t small_mallocs = 0;
+  std::uint64_t large_mallocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t class_ops = 0;
+  for (int cl = 0; cl < tm.num_clients(); ++cl) {
+    if (const TrafficCell* cell = tm.CellOrNull(cl, 0)) {
+      small_mallocs += cell->mallocs;
+      large_mallocs += cell->large_mallocs;
+      frees += cell->frees;
+      bytes += cell->bytes;
+      for (const std::uint64_t n : cell->class_ops) {
+        class_ops += n;
+      }
+    }
+  }
+  EXPECT_EQ(small_mallocs + large_mallocs, r.alloc_stats.mallocs);
+  EXPECT_EQ(frees, r.alloc_stats.frees);
+  EXPECT_EQ(bytes, r.alloc_stats.bytes_requested);
+  EXPECT_EQ(class_ops, small_mallocs)
+      << "every small malloc lands in exactly one size-class bucket";
+  EXPECT_GT(tm.TotalSyncOps(), 0u);
+}
+
+TEST(FlightRecorder, SnapshotJsonValidatesAndCarriesTheSchema) {
+  Machine machine(MachineConfig::Default(2));
+  TelemetryConfig tc;
+  tc.enabled = true;
+  tc.recorder = true;
+  tc.recorder_snapshot_interval = 100000;
+  machine.EnableTelemetry(tc);
+  const RunResult r = RunOffloaded(machine);
+
+  EXPECT_FALSE(r.snapshots.empty()) << "the periodic cadence must have fired";
+  ASSERT_EQ(r.final_snapshot.shards.size(), 1u);
+  EXPECT_TRUE(r.final_snapshot.on_demand);
+
+  const std::string dump = machine.telemetry().recorder().ToJson().Dump(2);
+  std::string err;
+  ASSERT_TRUE(JsonValidate(dump, &err)) << err;
+  // Spot-check the schema consumers depend on (scripts/report.py, CI).
+  for (const char* key :
+       {"\"attribution\"", "\"traffic_matrix\"", "\"snapshots\"",
+        "\"client_path_cycles\"", "\"total_cycles\"", "\"op_matrix\"",
+        "\"cells\"", "\"spans\"", "\"bytes_live\"", "\"data_mapped_bytes\"",
+        "\"internal_frag_pct\"", "\"external_frag_pct\"", "\"on_demand\""}) {
+    EXPECT_NE(dump.find(key), std::string::npos) << key;
+  }
+  // Snapshot cycles are monotonically nondecreasing along the run.
+  for (std::size_t i = 1; i < r.snapshots.size(); ++i) {
+    EXPECT_LE(r.snapshots[i - 1].cycle, r.snapshots[i].cycle);
+  }
+  // Fragmentation percentages are percentages.
+  for (const HeapShardSnapshot& sh : r.final_snapshot.shards) {
+    EXPECT_GE(sh.internal_frag_pct, 0.0);
+    EXPECT_LE(sh.internal_frag_pct, 100.0);
+    EXPECT_GE(sh.external_frag_pct, 0.0);
+    EXPECT_LE(sh.external_frag_pct, 100.0);
+  }
+}
+
+TEST(FlightRecorder, SnapshotSourceUnregistersWithTheAllocator) {
+  Machine machine(MachineConfig::Default(2));
+  TelemetryConfig tc;
+  tc.enabled = true;
+  tc.recorder = true;
+  machine.EnableTelemetry(tc);
+  {
+    NgxSystem sys = MakeNgxSystem(machine, NgxConfig::PaperPrototype(), 1);
+    EXPECT_TRUE(machine.telemetry().recorder().has_snapshot_source());
+  }
+  // After the allocator dies, an on-demand snapshot must be a safe no-op
+  // instead of a dangling call into the destroyed heap.
+  EXPECT_FALSE(machine.telemetry().recorder().has_snapshot_source());
+  EXPECT_EQ(machine.telemetry().recorder().TakeSnapshot(123, true), nullptr);
 }
 
 TEST(TelemetryDeterminism, TraceFromRealRunIsWellFormed) {
