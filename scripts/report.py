@@ -131,6 +131,41 @@ def print_snapshot(doc):
         print("  (slab walk truncated at its cap; counts are lower bounds)")
 
 
+def print_fleet(doc):
+    """Per-epoch fleet shape from any case carrying a fleet_timeline
+    (bench_ablation_adaptive_routing): active-core bar per epoch plus the
+    epoch's op count and how many clients the packer re-homed."""
+    cases = doc.get("cases")
+    if not isinstance(cases, list):
+        return
+    for case in cases:
+        tl = case.get("fleet_timeline")
+        if not tl:
+            continue
+        name = case.get("routing", case.get("name", "?"))
+        fleet = max((e.get("active_shards", 0) + e.get("parked_shards", 0)
+                     for e in tl), default=0)
+        print(f"\nfleet timeline [{name}] ({len(tl)} epochs, "
+              f"{fleet} cores provisioned):")
+        rows = []
+        for n, e in enumerate(tl):
+            active = e.get("active_shards", 0)
+            moves = e.get("client_moves", 0)
+            bar = "#" * active + "." * max(0, fleet - active)
+            rows.append([
+                n + 1,
+                f"{e.get('cycle', 0):,}",
+                f"{e.get('epoch_ops', 0):,}",
+                f"{active}/{fleet}",
+                bar,
+                f"{moves} moved" if moves else "-",
+            ])
+        print(table(rows, ["epoch", "cycle", "ops", "active", "fleet", "clients"]))
+        parked = case.get("parked_core_cycles", 0)
+        if parked:
+            print(f"  parked core cycles released: {parked:,}")
+
+
 def report(path):
     with open(path) as f:
         doc = json.load(f)
@@ -146,6 +181,7 @@ def report(path):
     print_attribution(doc)
     print_matrix(doc)
     print_snapshot(doc)
+    print_fleet(doc)
 
 
 def main(argv):

@@ -118,6 +118,36 @@ struct NgxConfig {
   // Requires span_donation; span_high_mark must exceed span_low_mark.
   std::uint64_t span_low_mark = 0;
   std::uint64_t span_high_mark = 0;
+  // Adaptive traffic-matrix routing + elastic allocator-core fleet
+  // (DESIGN.md §14). When true the fabric tracks a host-side client x shard
+  // op matrix; every epoch_cycles cycles of the first server core's clock an
+  // epoch controller (a) hands the matrix to the routing policy's Observe
+  // hook (the `adaptive` policy re-packs client home shards with
+  // hysteresis), and (b) resizes the fleet: a shard whose epoch op count
+  // falls below park_threshold_ops drains -- its recycled granted spans are
+  // returned home via the span protocol -- and parks, releasing its core
+  // from the malloc path; queue-depth pressure wakes parked shards. False
+  // (the default) registers no hooks and no tracking: bit-identical to
+  // pre-adaptive builds regardless of the other fleet knobs. The §3.1.1
+  // break-even economics: an allocator core only earns its room while its op
+  // rate covers its cost.
+  bool adaptive_routing = false;
+  // Epoch length in server-core cycles (the controller rides the same timer
+  // tick mechanism as watermark_timer_cycles). Ignored unless
+  // adaptive_routing is set.
+  std::uint64_t epoch_cycles = 100000;
+  // Fleet size bounds: the controller never parks below fleet_min_shards
+  // active shards and treats fleet_max_shards (0 = num_shards) as the cap of
+  // simultaneously active shards, parking the coldest extras.
+  int fleet_min_shards = 1;
+  int fleet_max_shards = 0;
+  // Break-even threshold: park an active shard whose closing-epoch op count
+  // is below this (0 = never park; routing still adapts).
+  std::uint64_t park_threshold_ops = 0;
+  // Queue-depth pressure that wakes the lowest-id parked shard: either a
+  // parked shard's own backlog or the busiest active shard's depth reaching
+  // this many entries.
+  std::uint64_t wake_queue_depth = 16;
   // Server-core placement policy used by MakeNgxSystem's placed overload.
   PlacementKind placement = PlacementKind::kContiguous;
   // Total heap window carved into shard slices. 0 = the full kHeapWindow;

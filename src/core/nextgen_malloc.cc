@@ -205,6 +205,30 @@ NgxAllocator::NgxAllocator(Machine& machine, OffloadFabric* fabric, const NgxCon
           }));
     }
   }
+  // Elastic-fleet epoch controller (DESIGN.md §14). Rides the same timer
+  // mechanism as the watermark tick, on the first server core only: epoch
+  // decisions are fleet-global (they read the whole traffic matrix), so one
+  // controller clock avoids N racing epoch boundaries. Nothing is registered
+  // and no tracking runs when adaptive_routing is off, so default runs stay
+  // bit-identical whatever the other fleet knobs say.
+  adaptive_ = config.adaptive_routing && fabric != nullptr && nshards > 1;
+  if (adaptive_) {
+    NGX_CHECK(config.epoch_cycles > 0, "adaptive routing needs an epoch length");
+    NGX_CHECK(config.fleet_min_shards >= 1 && config.fleet_min_shards <= nshards,
+              "fleet_min_shards out of range");
+    NGX_CHECK(config.fleet_max_shards == 0 ||
+                  (config.fleet_max_shards >= config.fleet_min_shards &&
+                   config.fleet_max_shards <= nshards),
+              "fleet_max_shards out of range");
+    fabric->set_epoch_tracking(true);
+    woke_this_epoch_.assign(static_cast<std::size_t>(nshards), 0);
+    const int core = fabric->server_cores().front();
+    timer_hook_ids_.push_back(
+        machine.AddTimerHook(core, config.epoch_cycles, [this, core] {
+          Env env(*machine_, core);
+          EpochTick(env);
+        }));
+  }
   // Flight-recorder wiring (host-side only; inert until the recorder is
   // enabled). The snapshot source lets Machine's periodic cadence and the
   // runner's end-of-run walk reach this allocator's heaps.
@@ -259,6 +283,9 @@ void NgxAllocator::BindInstruments() {
   c_returned_spans_ = &m.GetCounter("ngx.returned_spans", {{"alloc", "nextgen"}});
   c_inline_fallbacks_ =
       &m.GetCounter("ngx.inline_donation_fallbacks", {{"alloc", "nextgen"}});
+  c_routing_epochs_ = &m.GetCounter("ngx.routing_epochs", {{"alloc", "nextgen"}});
+  c_client_moves_ = &m.GetCounter("ngx.client_moves", {{"alloc", "nextgen"}});
+  c_shards_parked_ = &m.GetCounter("ngx.shards_parked", {{"alloc", "nextgen"}});
   c_stash_refills_ = &m.GetCounter("ngx.stash_refills", {{"alloc", "nextgen"}});
   h_refill_batch_ = &m.GetHistogram("ngx.stash_refill_batch", {{"alloc", "nextgen"}});
   c_refill_overlap_ = &m.GetCounter("ngx.refill_overlap_cycles", {{"alloc", "nextgen"}});
@@ -1143,6 +1170,191 @@ bool NgxAllocator::TryOfferSurplus(Env& server_env, int shard, std::uint64_t fre
   }
   fabric_->SyncRequest(server_env, needy, OffloadOp::kOfferSpans, carved);
   return true;
+}
+
+int NgxAllocator::MigrateGrantedHome(Env& server_env, int shard, int max_moves) {
+  if (directory_ == nullptr || !donation_) {
+    return 0;  // no span protocol: nothing was ever granted across shards
+  }
+  // Unlike TryReturnHome there is no low-mark retention: the shard is going
+  // dormant, so every fully-recycled granted run flows back to its home
+  // shard's provider window. Runs still holding live blocks cannot move --
+  // their frees keep reaching this shard via the span directory while it is
+  // parked, and they become migratable once recycled.
+  const std::uint64_t cap = ((1ull << 16) - 1) / grant_unit_spans_;
+  int moves = 0;
+  while (moves < max_moves) {
+    int home = -1;
+    std::uint64_t n = 0;
+    const Addr base = directory_->FindRecycledAwayRun(shard, grant_unit_spans_, cap,
+                                                      grant_align_, &home, &n);
+    if (base == kNullAddr) {
+      break;
+    }
+    directory_->ReturnRange(base, n, shard);
+    fabric_->SyncRequest(server_env, home, OffloadOp::kReturnSpan, base | n);
+    ++moves;
+    ++rebalance_moves_;
+    if (Recording()) {
+      c_returned_spans_->Add(n);
+    }
+  }
+  return moves;
+}
+
+void NgxAllocator::EpochTick(Env& env) {
+  // Migration traffic drains recipient rings, whose post-drain hooks would
+  // start watermark ticks mid-epoch; share the allocator-wide guard so epoch
+  // and watermark work never interleave.
+  if (in_rebalance_) {
+    return;
+  }
+  in_rebalance_ = true;
+  constexpr int kEpochMigrateMoves = 8;
+  ++routing_epochs_;
+  const std::uint64_t parked_before = shards_parked_;
+  const std::uint64_t total_ops = fabric_->TakeEpoch(&epoch_scratch_);
+  const int nsh = fabric_->num_shards();
+  const int fleet_max = config_.fleet_max_shards > 0
+                            ? std::min(config_.fleet_max_shards, nsh)
+                            : nsh;
+  const int fleet_min = std::max(1, std::min(config_.fleet_min_shards, fleet_max));
+  std::fill(woke_this_epoch_.begin(), woke_this_epoch_.end(), 0);
+
+  // 1. Step draining shards toward kParked: return recycled granted runs
+  // home on the shard's own server core, a bounded batch per epoch.
+  for (int s = 0; s < nsh; ++s) {
+    if (fabric_->shard_state(s) != ShardState::kDraining) {
+      continue;
+    }
+    Env senv(*machine_, fabric_->server_cores()[static_cast<std::size_t>(s)]);
+    if (MigrateGrantedHome(senv, s, kEpochMigrateMoves) < kEpochMigrateMoves) {
+      fabric_->set_shard_state(s, ShardState::kParked);
+      ++shards_parked_;
+    }
+  }
+
+  // 2. Wake on queue-depth pressure: a parked shard whose own ring backlog
+  // crossed the threshold wakes (frees piling up mean its partition is hot
+  // again); a saturated busiest active shard buys one extra shard of
+  // headroom per epoch.
+  std::uint64_t busiest = 0;
+  bool slack = false;
+  for (int s = 0; s < nsh; ++s) {
+    if (fabric_->shard_state(s) != ShardState::kActive) {
+      continue;
+    }
+    busiest = std::max(busiest, fabric_->QueueDepth(s));
+    // An active shard already below break-even is spare capacity the policy
+    // can re-pack onto; waking more shards would not relieve anything.
+    if (config_.park_threshold_ops > 0 &&
+        epoch_scratch_.ColTotal(s) < config_.park_threshold_ops) {
+      slack = true;
+    }
+  }
+  bool pressure_spent = false;
+  for (int s = 0; s < nsh; ++s) {
+    if (fabric_->shard_state(s) != ShardState::kParked) {
+      continue;
+    }
+    if (fabric_->num_active_shards() >= fleet_max) {
+      break;
+    }
+    const bool own = fabric_->QueueDepth(s) >= config_.wake_queue_depth;
+    const bool pressure = !pressure_spent && !slack && busiest >= config_.wake_queue_depth;
+    if (!own && !pressure) {
+      continue;
+    }
+    fabric_->set_shard_state(s, ShardState::kActive);
+    woke_this_epoch_[static_cast<std::size_t>(s)] = 1;
+    ++shards_woken_;
+    if (!own) {
+      pressure_spent = true;
+    }
+  }
+
+  // 3. Park below break-even: drain the coldest eligible active shard. Below
+  // the fleet_max cap the fleet shrinks at most ONE shard per epoch -- a
+  // single low-traffic epoch (warm-up, a phase boundary) must not collapse
+  // the whole fleet before the matrix has anything to say. A shard woken
+  // this epoch has had no chance to earn its keep yet and is exempt until
+  // the next close.
+  if (config_.park_threshold_ops > 0 || fleet_max < nsh) {
+    bool shrank_below_cap = false;
+    while (fabric_->num_active_shards() > fleet_min) {
+      const int active = fabric_->num_active_shards();
+      const bool over_cap = active > fleet_max;
+      if (!over_cap && shrank_below_cap) {
+        break;
+      }
+      int coldest = -1;
+      std::uint64_t coldest_ops = 0;
+      for (int s = 0; s < nsh; ++s) {
+        if (fabric_->shard_state(s) != ShardState::kActive ||
+            woke_this_epoch_[static_cast<std::size_t>(s)] != 0) {
+          continue;
+        }
+        const std::uint64_t ops = epoch_scratch_.ColTotal(s);
+        const bool below_break_even =
+            config_.park_threshold_ops > 0 && ops < config_.park_threshold_ops;
+        if (!below_break_even && !over_cap) {
+          continue;
+        }
+        if (coldest < 0 || ops < coldest_ops) {
+          coldest = s;
+          coldest_ops = ops;
+        }
+      }
+      if (coldest < 0) {
+        break;
+      }
+      if (!over_cap) {
+        shrank_below_cap = true;
+      }
+      fabric_->set_shard_state(coldest, ShardState::kDraining);
+      Env senv(*machine_, fabric_->server_cores()[static_cast<std::size_t>(coldest)]);
+      if (MigrateGrantedHome(senv, coldest, kEpochMigrateMoves) < kEpochMigrateMoves) {
+        fabric_->set_shard_state(coldest, ShardState::kParked);
+        ++shards_parked_;
+      }
+    }
+  }
+
+  // 4. Feed the policy the closed matrix against the post-decision fleet, so
+  // re-packing only targets shards that will actually serve mallocs.
+  for (int s = 0; s < nsh; ++s) {
+    epoch_scratch_.active[static_cast<std::size_t>(s)] =
+        fabric_->shard_state(s) == ShardState::kActive ? 1 : 0;
+  }
+  fabric_->routing().Observe(epoch_scratch_);
+  const std::uint64_t moves_total = fabric_->routing().client_moves();
+  const std::uint64_t epoch_moves = moves_total - last_client_moves_;
+  last_client_moves_ = moves_total;
+
+  // 5. Close the books. Parked capacity accrues for the epoch ahead: every
+  // non-active shard's core is released from the malloc path for the next
+  // epoch_cycles (the §3.1.1 break-even dividend).
+  const int active_now = fabric_->num_active_shards();
+  const int parked_now = nsh - active_now;
+  parked_core_cycles_ +=
+      config_.epoch_cycles * static_cast<std::uint64_t>(parked_now);
+  FleetEpoch fe;
+  fe.cycle = env.now();
+  fe.epoch_ops = total_ops;
+  fe.active_shards = active_now;
+  fe.parked_shards = parked_now;
+  fe.client_moves = epoch_moves;
+  fleet_timeline_.push_back(fe);
+  if (Recording()) {
+    c_routing_epochs_->Add();
+    if (epoch_moves > 0) {
+      c_client_moves_->Add(epoch_moves);
+    }
+    if (shards_parked_ > parked_before) {
+      c_shards_parked_->Add(shards_parked_ - parked_before);
+    }
+  }
+  in_rebalance_ = false;
 }
 
 void NgxAllocator::NoteMallocTraffic(int client, int shard, std::uint64_t size) {

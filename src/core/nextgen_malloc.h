@@ -143,6 +143,22 @@ class NgxAllocator : public Allocator {
   std::uint64_t rebalance_moves() const { return rebalance_moves_; }
   std::uint64_t inline_donation_fallbacks() const { return inline_fallbacks_; }
 
+  // Adaptive routing + elastic fleet (config.adaptive_routing; DESIGN.md
+  // §14). Epochs closed by the controller, home-shard reassignments made by
+  // the routing policy, park transitions taken, wakes taken, and the
+  // simulated core-cycles of capacity released while shards sat parked
+  // (epoch_cycles per parked shard per epoch). fleet_timeline records one
+  // entry per closed epoch for the bench JSON / report timeline.
+  bool adaptive_fleet() const { return adaptive_; }
+  std::uint64_t routing_epochs() const { return routing_epochs_; }
+  std::uint64_t client_moves() const {
+    return fabric_ != nullptr ? fabric_->routing().client_moves() : 0;
+  }
+  std::uint64_t shards_parked() const { return shards_parked_; }
+  std::uint64_t shards_woken() const { return shards_woken_; }
+  std::uint64_t parked_core_cycles() const { return parked_core_cycles_; }
+  const std::vector<FleetEpoch>& fleet_timeline() const { return fleet_timeline_; }
+
   // Flight-recorder heap walk (DESIGN.md §13): one HeapShardSnapshot per
   // shard, built from the span directory, each heap's untimed Inspect() and
   // the allocator's host-side fragmentation mirrors. Registered as the
@@ -302,6 +318,19 @@ class NgxAllocator : public Allocator {
   bool TryOfferSurplus(Env& server_env, int shard, std::uint64_t free);
   bool TryRestockLocal(Env& server_env, int shard);
 
+  // Elastic-fleet epoch controller (config.adaptive_routing; DESIGN.md §14).
+  // Runs on the first server core's timer tick every config_.epoch_cycles:
+  // closes the fabric's traffic epoch, steps draining shards toward kParked,
+  // wakes parked shards under queue-depth pressure, drains shards below the
+  // break-even op threshold, and feeds the closed matrix to the routing
+  // policy's Observe hook.
+  void EpochTick(Env& env);
+  // Returns up to `max_moves` recycled granted-span runs of `shard` to their
+  // home shards (no low-mark retention -- the shard is going dormant).
+  // Returns the number of runs moved; fewer than max_moves means nothing
+  // migratable remains and the shard may park.
+  int MigrateGrantedHome(Env& server_env, int shard, int max_moves);
+
   // Lazily binds metric handles; returns whether telemetry is recording.
   bool Recording();
   void BindInstruments();
@@ -348,6 +377,15 @@ class NgxAllocator : public Allocator {
   std::uint64_t partition_ooms_ = 0;
   std::uint64_t rebalance_moves_ = 0;
   std::uint64_t inline_fallbacks_ = 0;
+  bool adaptive_ = false;            // epoch controller + tracking active
+  std::uint64_t routing_epochs_ = 0;
+  std::uint64_t shards_parked_ = 0;  // park transitions (not current count)
+  std::uint64_t shards_woken_ = 0;
+  std::uint64_t parked_core_cycles_ = 0;
+  std::uint64_t last_client_moves_ = 0;  // policy total at last epoch close
+  std::vector<std::uint8_t> woke_this_epoch_;  // scratch for EpochTick
+  EpochMatrix epoch_scratch_;
+  std::vector<FleetEpoch> fleet_timeline_;
   std::vector<int> idle_hook_ids_;   // machine idle hooks to remove at teardown
   std::vector<int> timer_hook_ids_;  // machine timer hooks (watermark_timer_cycles)
   OffloadFabric* fabric_;
@@ -397,6 +435,9 @@ class NgxAllocator : public Allocator {
   Counter* c_donated_spans_ = nullptr;
   Counter* c_rebalance_moves_ = nullptr;
   Counter* c_returned_spans_ = nullptr;
+  Counter* c_routing_epochs_ = nullptr;
+  Counter* c_client_moves_ = nullptr;
+  Counter* c_shards_parked_ = nullptr;
   Counter* c_inline_fallbacks_ = nullptr;
   Counter* c_stash_refills_ = nullptr;
   Histogram* h_refill_batch_ = nullptr;   // blocks per background refill

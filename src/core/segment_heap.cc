@@ -54,6 +54,11 @@ SegmentHeap::SegmentHeap(Machine& machine, Addr heap_base, Addr meta_base,
   const Addr mapped = meta_provider_.MapAtStartup(machine, layout_.MappedMetaBytes(),
                                                   PageKind::kSmall4K);
   NGX_CHECK(mapped == meta_base, "segment metadata must start at the window base");
+  // Retention needs retirement to be lazy; with empty_segment_retain = 0 the
+  // caller asked for the return-everything mode and retirement stays eager
+  // (see ServerHeapConfig::slab_retain_depth).
+  retain_depth_ = config.empty_segment_retain > 0 ? config.slab_retain_depth : 0;
+  free_slabs_.assign(classes_.num_classes(), 0);
 }
 
 void SegmentHeap::MaybeLock(Env& env) {
@@ -118,6 +123,12 @@ Addr SegmentHeap::MallocSmall(Env& env, std::uint64_t size) {
   std::uint64_t state = env.Load<std::uint64_t>(header);
   std::uint32_t fc = SlabFreeCount(state);
   std::uint32_t bu = SlabBumpUsed(state);
+  if (fc > 0 && fc == bu && free_slabs_[cls] > 0) {
+    // Carving from a retained fully-free slab puts it back in use; its
+    // retention slot reopens for the next fully-free slab. (A fully-free
+    // HEAD slab is never counted -- see FreeSmall -- hence the > 0 guard.)
+    --free_slabs_[cls];
+  }
   std::uint32_t idx;
   if (fc > 0) {
     --fc;
@@ -207,10 +218,21 @@ void SegmentHeap::FreeSmall(Env& env, Addr addr, std::uint32_t cls) {
   stats_.bytes_live -= bs;
   const Addr head = env.Load<Addr>(layout_.ClassHeadAddr(cls));
   if (fc == bu && header != head) {
-    // Every carved block is free again and another slab is serving the
-    // class: recycle this one's unit(s) back to the segment.
-    RetireSlab(env, cls, unit, header, in_list);
-    return;
+    if (free_slabs_[cls] >= retain_depth_) {
+      // Every carved block is free again, another slab is serving the class
+      // and the retention cache is full: recycle this one's unit(s) back to
+      // the segment.
+      RetireSlab(env, cls, unit, header, in_list);
+      return;
+    }
+    // Lazy-retire hysteresis: the class keeps up to retain_depth_ fully-free
+    // slabs linked instead of retiring them. Unit-block classes (8-16 KiB)
+    // under steady churn would otherwise retire on every free and re-pay the
+    // slab-acquire path -- past the slice budget, a span-donation round trip
+    // -- on the next malloc; a few hot slabs turn that cycle into a freelist
+    // pop. Falls through to the normal re-link + header store below.
+    ++free_slabs_[cls];
+    ++seg_stats_.slab_retains;
   }
   if (!in_list) {
     // Was exhausted; its freshly freed block makes it servable again.

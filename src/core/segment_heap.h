@@ -14,6 +14,7 @@
 #define NGX_SRC_CORE_SEGMENT_HEAP_H_
 
 #include <memory>
+#include <vector>
 
 #include "src/core/server_heap.h"
 #include "src/core/slab.h"
@@ -29,6 +30,7 @@ struct SegmentHeapStats {
   std::uint64_t bump_carves = 0;     // malloc served from a slab's bump cursor
   std::uint64_t slab_acquires = 0;   // slabs handed to a class
   std::uint64_t slab_retires = 0;    // fully-free slabs recycled
+  std::uint64_t slab_retains = 0;    // retires avoided by the retention cache
   std::uint64_t unit_reuses = 0;     // slab acquired from a partial segment
   std::uint64_t segment_reuses = 0;  // segment acquired from the empty pool
   std::uint64_t fresh_segments = 0;  // segment acquired by mapping
@@ -95,6 +97,14 @@ class SegmentHeap : public ServerHeap {
   bool Recording();
   void BindInstruments();
 
+  // Per-class retention cache (ServerHeapConfig::slab_retain_depth): lazy
+  // retirement keeps up to retain_depth_ fully-free slabs linked per class
+  // instead of retiring them. free_slabs_ is the host-side count of linked
+  // fully-free slabs per class -- the slabs themselves just stay in the
+  // class list, so the simulated state is exactly "this slab was never
+  // retired". MallocSmall decrements the count when it carves from a fully
+  // free slab (it stops being retained by becoming useful).
+
   ServerHeapConfig config_;
   SizeClasses classes_;
   PageProvider span_provider_;
@@ -108,6 +118,9 @@ class SegmentHeap : public ServerHeap {
   // sweep the sparse large map.
   std::uint64_t large_blocks_ = 0;
   std::uint64_t large_bytes_ = 0;
+
+  std::uint32_t retain_depth_ = 0;
+  std::vector<std::uint32_t> free_slabs_;  // per class, linked fully-free slabs
 
   bool instruments_bound_ = false;
   Counter* c_slab_reuses_ = nullptr;

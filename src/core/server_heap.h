@@ -83,6 +83,18 @@ struct ServerHeapConfig {
   // unmapped -- which is also what makes a donated segment returnable, so
   // span-return tests set 0.
   std::uint32_t empty_segment_retain = 8;
+  // Segment heap only: lazy-retire hysteresis -- keep up to this many fully
+  // free slabs linked per class instead of retiring them (0 = retire
+  // eagerly on every fully-free transition). Unit-block classes (8-16 KiB
+  // blocks, one or two blocks per slab) otherwise retire a slab on every
+  // free under steady churn and pay the full slab-acquire path -- and, past
+  // the slice budget, a span-donation round trip -- on the next malloc; a
+  // few slabs of hysteresis absorb the random-walk excursions of multi-class
+  // churn. Only effective with empty_segment_retain > 0: both knobs express
+  // the keep-mapped vs return-everything trade, and span-return tests that
+  // set retain 0 need retirement to stay eager so donated segments can
+  // recycle home.
+  std::uint32_t slab_retain_depth = 4;
   // Size of the heap/metadata windows starting at heap_base/meta_base.
   // 0 means the full kHeapWindow; the sharded fabric passes
   // kHeapWindow / num_shards so shard partitions stay disjoint.

@@ -28,6 +28,7 @@ OffloadFabric::OffloadFabric(Machine& machine, std::vector<int> server_cores,
   }
   async_enqueued_.assign(engines_.size(), 0);
   loads_.resize(engines_.size());
+  states_.assign(engines_.size(), ShardState::kActive);
 }
 
 std::uint64_t OffloadFabric::ChannelRegionBytes(const Machine& machine, int num_shards) {
@@ -45,22 +46,65 @@ int OffloadFabric::RouteMalloc(int client, std::uint64_t size, std::uint32_t siz
   if (engines_.size() == 1) {
     return 0;  // degenerate case: the paper's single-server prototype
   }
+  const std::uint64_t client_now = machine_->core(client).now();
   for (std::size_t s = 0; s < engines_.size(); ++s) {
-    loads_[s].queue_depth = QueueDepth(static_cast<int>(s));
+    loads_[s].queue_depth = RoutedQueueDepth(static_cast<int>(s), client_now);
     loads_[s].server_now = machine_->core(server_cores_[s]).now();
+    loads_[s].active = states_[s] == ShardState::kActive;
   }
   const int shard = routing_->Route(client, size, size_class, loads_);
   NGX_CHECK(shard >= 0 && shard < num_shards(), "routing policy returned a bad shard");
   return shard;
 }
 
+int OffloadFabric::num_active_shards() const {
+  int n = 0;
+  for (ShardState st : states_) n += st == ShardState::kActive ? 1 : 0;
+  return n;
+}
+
+void OffloadFabric::set_epoch_tracking(bool on) {
+  epoch_tracking_ = on;
+  epoch_ops_.assign(
+      on ? static_cast<std::size_t>(machine_->num_cores()) * engines_.size() : 0,
+      0);
+}
+
+std::uint64_t OffloadFabric::EpochShardOps(int s) const {
+  if (!epoch_tracking_) return 0;
+  std::uint64_t total = 0;
+  for (std::size_t c = 0; c < epoch_ops_.size() / engines_.size(); ++c) {
+    total += epoch_ops_[c * engines_.size() + static_cast<std::size_t>(s)];
+  }
+  return total;
+}
+
+std::uint64_t OffloadFabric::TakeEpoch(EpochMatrix* out) {
+  NGX_CHECK(epoch_tracking_, "TakeEpoch requires epoch tracking");
+  ++epoch_seq_;
+  out->num_clients = machine_->num_cores();
+  out->num_shards = num_shards();
+  out->epoch = epoch_seq_;
+  out->ops = epoch_ops_;
+  out->active.assign(engines_.size(), 0);
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < engines_.size(); ++s) {
+    out->active[s] = states_[s] == ShardState::kActive ? 1 : 0;
+  }
+  for (std::uint64_t v : epoch_ops_) total += v;
+  epoch_ops_.assign(epoch_ops_.size(), 0);
+  return total;
+}
+
 std::uint64_t OffloadFabric::SyncRequest(Env& client_env, int s, OffloadOp op,
                                          std::uint64_t arg) {
+  NoteEpochOp(client_env.core_id(), s);
   return shard(s).SyncRequest(client_env, op, arg);
 }
 
 void OffloadFabric::AsyncRequest(Env& client_env, int s, OffloadOp op, std::uint64_t arg) {
   ++async_enqueued_[static_cast<std::size_t>(s)];
+  NoteEpochOp(client_env.core_id(), s);
   shard(s).AsyncRequest(client_env, op, arg);
   RecordQueueDepth(client_env, s);
 }
@@ -68,6 +112,7 @@ void OffloadFabric::AsyncRequest(Env& client_env, int s, OffloadOp op, std::uint
 void OffloadFabric::AsyncRequestBatch(Env& client_env, int s, const std::uint64_t* addrs,
                                       std::uint32_t n) {
   async_enqueued_[static_cast<std::size_t>(s)] += n;
+  NoteEpochOp(client_env.core_id(), s, n);
   shard(s).AsyncRequestBatch(client_env, addrs, n);
   RecordQueueDepth(client_env, s);
 }
@@ -75,6 +120,7 @@ void OffloadFabric::AsyncRequestBatch(Env& client_env, int s, const std::uint64_
 std::uint64_t OffloadFabric::AsyncRequestKicked(Env& client_env, int s, OffloadOp op,
                                                 std::uint64_t arg) {
   ++async_enqueued_[static_cast<std::size_t>(s)];
+  NoteEpochOp(client_env.core_id(), s);
   const std::uint64_t t = shard(s).AsyncRequestKicked(client_env, op, arg);
   RecordQueueDepth(client_env, s);
   return t;

@@ -29,6 +29,20 @@
 
 namespace ngx {
 
+// Lifecycle of an allocator shard under the elastic-fleet epoch controller
+// (NgxConfig::adaptive_routing). An `active` shard serves routed mallocs; a
+// `draining` shard takes no new mallocs while its recycled granted spans are
+// migrated home; a `parked` shard serves only owner-bound traffic (frees of
+// blocks in its partition still arrive via the span directory) and its core
+// is accounted as reclaimable capacity. Waking flips a parked shard straight
+// back to kActive. With the controller disabled every shard stays kActive
+// forever and no code on this path runs.
+enum class ShardState {
+  kActive,
+  kDraining,
+  kParked,
+};
+
 class OffloadFabric {
  public:
   // One shard per entry of `server_cores` (all distinct, all valid core
@@ -79,6 +93,34 @@ class OffloadFabric {
   // Host-side only; charges no simulated time.
   int RouteMalloc(int client, std::uint64_t size, std::uint32_t size_class);
 
+  // ---- Shard lifecycle (elastic fleet) ----------------------------------
+  // State is host-side bookkeeping owned by the epoch controller in
+  // NgxAllocator; the fabric only gates malloc routing on it (RouteMalloc
+  // marks non-active shards inactive in the ShardLoad snapshot). Frees and
+  // explicit-shard requests are unaffected: a parked shard still drains its
+  // rings and serves owner-bound ops.
+  ShardState shard_state(int s) const {
+    return states_[static_cast<std::size_t>(s)];
+  }
+  void set_shard_state(int s, ShardState st) {
+    states_[static_cast<std::size_t>(s)] = st;
+  }
+  int num_active_shards() const;
+
+  // ---- Epoch traffic matrix ---------------------------------------------
+  // When tracking is enabled (the adaptive controller turns it on), every
+  // request entry point counts one op against (client core, shard) in a
+  // host-side matrix. TakeEpoch snapshots the matrix (plus the per-shard
+  // active flags) into `out`, resets the accumulators, and returns the total
+  // op count of the closing epoch. Independent of the flight recorder's
+  // telemetry-gated traffic matrix, which stays observational.
+  void set_epoch_tracking(bool on);
+  bool epoch_tracking() const { return epoch_tracking_; }
+  std::uint64_t TakeEpoch(EpochMatrix* out);
+
+  // Ops shard s has absorbed in the current (still-open) epoch.
+  std::uint64_t EpochShardOps(int s) const;
+
   // Round trip / fire-and-forget on an explicit shard. Callers route mallocs
   // through RouteMalloc and frees through their address->shard owner map.
   std::uint64_t SyncRequest(Env& client_env, int s, OffloadOp op, std::uint64_t arg);
@@ -109,6 +151,26 @@ class OffloadFabric {
     return enqueued > drained ? enqueued - drained : 0;
   }
 
+  // Load signal RouteMalloc actually hands to the policy: QueueDepth decayed
+  // by the drain slack an idle server has accumulated. A shard whose ring
+  // filled up and then stopped receiving sync traffic never drains (drains
+  // run on the server's own request path), so its raw depth would repel
+  // least_loaded forever even though the idle server could absorb the
+  // backlog instantly. Every kStaleDepthDecayCycles of server-behind-client
+  // slack forgives one queued entry.
+  std::uint64_t RoutedQueueDepth(int s, std::uint64_t client_now) const {
+    const std::uint64_t raw = QueueDepth(s);
+    const std::uint64_t server_now =
+        machine_->core(server_cores_[static_cast<std::size_t>(s)]).now();
+    if (server_now >= client_now) return raw;
+    const std::uint64_t credit =
+        (client_now - server_now) / kStaleDepthDecayCycles;
+    return raw > credit ? raw - credit : 0;
+  }
+
+  // Approximate per-entry drain cost used to decay stale queue depths.
+  static constexpr std::uint64_t kStaleDepthDecayCycles = 64;
+
   const OffloadEngineStats& shard_stats(int s) const { return shard(s).stats(); }
   // Sum over shards (what the single-engine stats() used to report).
   OffloadEngineStats TotalStats() const;
@@ -117,12 +179,23 @@ class OffloadFabric {
   // Samples QueueDepth(s) into telemetry after an enqueue.
   void RecordQueueDepth(Env& client_env, int s);
 
+  // Counts one epoch op for (client, s) when tracking is enabled.
+  void NoteEpochOp(int client, int s, std::uint64_t n = 1) {
+    if (!epoch_tracking_) return;
+    epoch_ops_[static_cast<std::size_t>(client) * engines_.size() +
+               static_cast<std::size_t>(s)] += n;
+  }
+
   Machine* machine_;
   std::vector<int> server_cores_;
   std::vector<std::unique_ptr<OffloadEngine>> engines_;
   std::unique_ptr<RoutingPolicy> routing_;
   std::vector<std::uint64_t> async_enqueued_;  // per shard
   std::vector<ShardLoad> loads_;               // scratch for RouteMalloc
+  std::vector<ShardState> states_;             // per-shard lifecycle
+  bool epoch_tracking_ = false;
+  std::uint64_t epoch_seq_ = 0;
+  std::vector<std::uint64_t> epoch_ops_;  // client-major (num_cores x shards)
 
   // Telemetry handles (lazily bound on the first enqueue after enable).
   std::vector<Histogram*> h_queue_depth_;   // per shard

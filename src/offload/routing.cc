@@ -1,17 +1,33 @@
 #include "src/offload/routing.h"
 
+#include <algorithm>
+
 #include "src/sim/check.h"
 
 namespace ngx {
 
 namespace {
 
+// Index of the k-th active shard (k = key % active count). Falls back to
+// shard 0 if every shard is inactive -- the epoch controller never parks the
+// whole fleet, so this is purely defensive.
+int NthActiveShard(int key, const std::vector<ShardLoad>& loads) {
+  int active = 0;
+  for (const ShardLoad& l : loads) active += l.active ? 1 : 0;
+  if (active == 0) return 0;
+  int idx = key % active;
+  for (int s = 0; s < static_cast<int>(loads.size()); ++s) {
+    if (loads[static_cast<std::size_t>(s)].active && idx-- == 0) return s;
+  }
+  return 0;
+}
+
 class StaticByClientPolicy : public RoutingPolicy {
  public:
   std::string_view name() const override { return "static_by_client"; }
   int Route(int client, std::uint64_t /*size*/, std::uint32_t /*size_class*/,
             const std::vector<ShardLoad>& loads) override {
-    return client % static_cast<int>(loads.size());
+    return NthActiveShard(client, loads);
   }
 };
 
@@ -20,7 +36,7 @@ class BySizeClassPolicy : public RoutingPolicy {
   std::string_view name() const override { return "by_size_class"; }
   int Route(int /*client*/, std::uint64_t /*size*/, std::uint32_t size_class,
             const std::vector<ShardLoad>& loads) override {
-    return static_cast<int>(size_class % loads.size());
+    return NthActiveShard(static_cast<int>(size_class), loads);
   }
 };
 
@@ -29,20 +45,99 @@ class LeastLoadedPolicy : public RoutingPolicy {
   std::string_view name() const override { return "least_loaded"; }
   int Route(int /*client*/, std::uint64_t /*size*/, std::uint32_t /*size_class*/,
             const std::vector<ShardLoad>& loads) override {
-    int best = 0;
-    for (int s = 1; s < static_cast<int>(loads.size()); ++s) {
+    int best = -1;
+    for (int s = 0; s < static_cast<int>(loads.size()); ++s) {
       const ShardLoad& a = loads[static_cast<std::size_t>(s)];
+      if (!a.active) continue;
+      if (best < 0) {
+        best = s;
+        continue;
+      }
       const ShardLoad& b = loads[static_cast<std::size_t>(best)];
       if (a.queue_depth < b.queue_depth ||
           (a.queue_depth == b.queue_depth && a.server_now < b.server_now)) {
         best = s;
       }
     }
-    return best;
+    return best < 0 ? 0 : best;
   }
 };
 
 }  // namespace
+
+AdaptiveRoutingPolicy::AdaptiveRoutingPolicy(int hysteresis_pct)
+    : hysteresis_pct_(hysteresis_pct) {
+  NGX_CHECK(hysteresis_pct >= 0, "hysteresis must be non-negative");
+}
+
+int AdaptiveRoutingPolicy::HomeOf(int client) const {
+  if (client < 0 || client >= static_cast<int>(home_.size())) return -1;
+  return home_[static_cast<std::size_t>(client)];
+}
+
+int AdaptiveRoutingPolicy::Route(int client, std::uint64_t /*size*/,
+                                 std::uint32_t /*size_class*/,
+                                 const std::vector<ShardLoad>& loads) {
+  const int h = HomeOf(client);
+  if (h >= 0 && h < static_cast<int>(loads.size()) &&
+      loads[static_cast<std::size_t>(h)].active) {
+    return h;
+  }
+  // Unplaced client (before the first epoch) or home shard mid-drain/parked:
+  // spread deterministically over whatever is active until the next Observe
+  // re-homes it.
+  return NthActiveShard(client, loads);
+}
+
+void AdaptiveRoutingPolicy::Observe(const EpochMatrix& epoch) {
+  if (epoch.num_shards <= 0) return;
+  if (static_cast<int>(home_.size()) < epoch.num_clients) {
+    home_.resize(static_cast<std::size_t>(epoch.num_clients), -1);
+  }
+  // Greedy bin packing: place clients by descending epoch traffic onto the
+  // least-packed active shard. Zero-traffic clients keep their home -- an
+  // idle client must not churn placement.
+  std::vector<int> order;
+  for (int c = 0; c < epoch.num_clients; ++c) {
+    if (epoch.RowTotal(c) > 0) order.push_back(c);
+  }
+  std::sort(order.begin(), order.end(), [&epoch](int a, int b) {
+    const std::uint64_t ta = epoch.RowTotal(a);
+    const std::uint64_t tb = epoch.RowTotal(b);
+    return ta != tb ? ta > tb : a < b;
+  });
+  std::vector<std::uint64_t> packed(static_cast<std::size_t>(epoch.num_shards),
+                                    0);
+  for (int c : order) {
+    const std::uint64_t t = epoch.RowTotal(c);
+    int best = -1;
+    for (int s = 0; s < epoch.num_shards; ++s) {
+      if (!epoch.active[static_cast<std::size_t>(s)]) continue;
+      if (best < 0 || packed[static_cast<std::size_t>(s)] <
+                          packed[static_cast<std::size_t>(best)]) {
+        best = s;
+      }
+    }
+    if (best < 0) return;  // whole fleet inactive; leave placement alone
+    int chosen = best;
+    const int h = home_[static_cast<std::size_t>(c)];
+    if (h >= 0 && h < epoch.num_shards && h != best &&
+        epoch.active[static_cast<std::size_t>(h)]) {
+      // Hysteresis: stay home unless moving beats the home shard's packed
+      // height by more than hysteresis_pct percent.
+      const std::uint64_t cost_home = packed[static_cast<std::size_t>(h)] + t;
+      const std::uint64_t cost_best =
+          packed[static_cast<std::size_t>(best)] + t;
+      if (cost_home * 100 <=
+          cost_best * static_cast<std::uint64_t>(100 + hysteresis_pct_)) {
+        chosen = h;
+      }
+    }
+    if (h >= 0 && h != chosen) ++client_moves_;
+    home_[static_cast<std::size_t>(c)] = chosen;
+    packed[static_cast<std::size_t>(chosen)] += t;
+  }
+}
 
 std::unique_ptr<RoutingPolicy> MakeRoutingPolicy(RoutingKind kind) {
   switch (kind) {
@@ -52,6 +147,8 @@ std::unique_ptr<RoutingPolicy> MakeRoutingPolicy(RoutingKind kind) {
       return std::make_unique<BySizeClassPolicy>();
     case RoutingKind::kLeastLoaded:
       return std::make_unique<LeastLoadedPolicy>();
+    case RoutingKind::kAdaptive:
+      return std::make_unique<AdaptiveRoutingPolicy>();
   }
   NGX_CHECK(false, "unknown RoutingKind");
 }
@@ -64,6 +161,8 @@ std::string_view RoutingKindName(RoutingKind kind) {
       return "by_size_class";
     case RoutingKind::kLeastLoaded:
       return "least_loaded";
+    case RoutingKind::kAdaptive:
+      return "adaptive";
   }
   return "?";
 }
@@ -79,6 +178,10 @@ bool ParseRoutingKind(std::string_view name, RoutingKind* out) {
   }
   if (name == "least_loaded" || name == "least") {
     *out = RoutingKind::kLeastLoaded;
+    return true;
+  }
+  if (name == "adaptive") {
+    *out = RoutingKind::kAdaptive;
     return true;
   }
   return false;

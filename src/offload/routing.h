@@ -16,6 +16,18 @@
 //    pending-work queue (ties broken by the earlier server clock, then the
 //    lower shard id), modelling a work-stealing-style provisioning of the
 //    allocator room.
+//  * Adaptive      -- feedback-driven placement. The fabric's epoch
+//    controller periodically hands the policy the client x shard op-count
+//    matrix observed since the previous epoch (Observe); the policy greedily
+//    re-packs clients onto the active shards by descending traffic, with
+//    hysteresis so an assignment only moves when the best candidate shard is
+//    markedly better than the client's current home. Between epochs every
+//    malloc goes to the client's home shard, so a client's working set stays
+//    resident in one allocator core's cache.
+//
+// Policies are stateful: Observe() is the feedback edge from the fabric's
+// epoch controller back into placement. The three classic policies keep no
+// state and inherit the no-op Observe.
 //
 // Frees and UsableSize are NOT routed by policy: a block is always serviced
 // by the shard that owns its heap partition (see NgxAllocator::ShardOfAddr).
@@ -33,6 +45,7 @@ enum class RoutingKind {
   kStaticByClient,
   kBySizeClass,
   kLeastLoaded,
+  kAdaptive,
 };
 
 // Per-shard load snapshot handed to policies on every routed malloc. All
@@ -42,6 +55,49 @@ enum class RoutingKind {
 struct ShardLoad {
   std::uint64_t queue_depth = 0;  // async entries enqueued but not yet drained
   std::uint64_t server_now = 0;   // the shard server core's current cycle
+  bool active = true;  // false while the shard is draining or parked; policies
+                       // must not route new mallocs to an inactive shard
+};
+
+// One epoch of observed fabric traffic: ops[c * num_shards + s] counts the
+// requests client core c issued to shard s since the previous epoch. The
+// matrix is host-side bookkeeping accumulated by OffloadFabric and handed to
+// RoutingPolicy::Observe by the epoch controller; it is independent of the
+// flight recorder's telemetry matrix, which is observational only.
+struct EpochMatrix {
+  int num_clients = 0;
+  int num_shards = 0;
+  std::uint64_t epoch = 0;             // epoch sequence number (1-based)
+  std::vector<std::uint64_t> ops;      // client-major, num_clients*num_shards
+  std::vector<std::uint8_t> active;    // per-shard: eligible for new mallocs
+
+  std::uint64_t Ops(int client, int shard) const {
+    return ops[static_cast<std::size_t>(client) *
+                   static_cast<std::size_t>(num_shards) +
+               static_cast<std::size_t>(shard)];
+  }
+  std::uint64_t RowTotal(int client) const {
+    std::uint64_t total = 0;
+    for (int s = 0; s < num_shards; ++s) total += Ops(client, s);
+    return total;
+  }
+  std::uint64_t ColTotal(int shard) const {
+    std::uint64_t total = 0;
+    for (int c = 0; c < num_clients; ++c) total += Ops(c, shard);
+    return total;
+  }
+};
+
+// One closed epoch of the elastic-fleet controller, as surfaced in
+// RunResult::fleet_timeline and the bench JSON: when the epoch closed (the
+// controller core's clock), how much fabric traffic it saw, and the fleet
+// shape after its park/wake/re-pack decisions.
+struct FleetEpoch {
+  std::uint64_t cycle = 0;         // controller server-core clock at close
+  std::uint64_t epoch_ops = 0;     // total fabric ops observed in the epoch
+  int active_shards = 0;           // shards serving mallocs after decisions
+  int parked_shards = 0;           // shards parked (or draining) after decisions
+  std::uint64_t client_moves = 0;  // home reassignments made this epoch
 };
 
 class RoutingPolicy {
@@ -52,14 +108,49 @@ class RoutingPolicy {
   // `size` bytes in size class `size_class` issued by core `client`.
   virtual int Route(int client, std::uint64_t size, std::uint32_t size_class,
                     const std::vector<ShardLoad>& loads) = 0;
+  // Feedback hook: the epoch controller delivers the traffic matrix observed
+  // over the closing epoch. Stateless policies ignore it.
+  virtual void Observe(const EpochMatrix& epoch) { (void)epoch; }
+  // Number of home-shard reassignments the policy has made across all epochs
+  // observed so far (0 for stateless policies).
+  virtual std::uint64_t client_moves() const { return 0; }
 };
 
 std::unique_ptr<RoutingPolicy> MakeRoutingPolicy(RoutingKind kind);
 
+// The adaptive policy keeps a home shard per client and re-packs on Observe:
+// clients are sorted by descending epoch traffic and greedily placed on the
+// active shard with the smallest packed load; a client only moves when the
+// candidate's resulting load beats its current home's by more than
+// `hysteresis_pct` percent. Exposed concretely so unit tests and the fabric
+// can drive Observe directly.
+class AdaptiveRoutingPolicy : public RoutingPolicy {
+ public:
+  explicit AdaptiveRoutingPolicy(int hysteresis_pct = kDefaultHysteresisPct);
+
+  std::string_view name() const override { return "adaptive"; }
+  int Route(int client, std::uint64_t size, std::uint32_t size_class,
+            const std::vector<ShardLoad>& loads) override;
+  void Observe(const EpochMatrix& epoch) override;
+  std::uint64_t client_moves() const override { return client_moves_; }
+
+  // Home shard currently assigned to `client`, or -1 before any epoch has
+  // placed it (Route then falls back to client % active shards).
+  int HomeOf(int client) const;
+
+  static constexpr int kDefaultHysteresisPct = 25;
+
+ private:
+  int hysteresis_pct_;
+  std::vector<int> home_;          // per-client home shard, -1 = unassigned
+  std::uint64_t client_moves_ = 0;
+};
+
 std::string_view RoutingKindName(RoutingKind kind);
 
-// Parses "static_by_client" / "by_size_class" / "least_loaded" (and the
-// short forms "static" / "size" / "least"). Returns false on unknown names.
+// Parses "static_by_client" / "by_size_class" / "least_loaded" / "adaptive"
+// (and the short forms "static" / "size" / "least"). Returns false on
+// unknown names.
 bool ParseRoutingKind(std::string_view name, RoutingKind* out);
 
 }  // namespace ngx

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/core/nextgen_malloc.h"
+
 namespace ngx {
 
 std::vector<int> FirstCores(int n) {
@@ -46,6 +48,15 @@ RunResult RunWorkload(Machine& machine, Allocator& alloc, Workload& workload,
     result.server += result.per_server.back();
   }
   result.alloc_stats = alloc.stats();
+  if (const auto* ngx = dynamic_cast<const NgxAllocator*>(&alloc)) {
+    // Elastic-fleet books live on the allocator host side (no telemetry
+    // needed): the timeline has no counter representation at all.
+    result.routing_epochs = ngx->routing_epochs();
+    result.client_moves = ngx->client_moves();
+    result.shards_parked = ngx->shards_parked();
+    result.parked_core_cycles = ngx->parked_core_cycles();
+    result.fleet_timeline = ngx->fleet_timeline();
+  }
   if (machine.telemetry().enabled()) {
     const MetricsRegistry& m = machine.telemetry().metrics();
     for (std::size_t s = 0; s < options.server_cores.size(); ++s) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/offload/routing.h"
 #include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/metrics.h"
 #include "src/workload/workload.h"
@@ -56,6 +57,18 @@ struct RunResult {
   std::uint64_t server_carve_cycles = 0;
   std::uint64_t slab_reuses = 0;
   std::uint64_t fresh_slab_carves = 0;
+  // Adaptive routing / elastic fleet digests (DESIGN.md §14). Copied from
+  // the allocator's host-side books, so they are present even without
+  // telemetry: epochs the controller closed, home-shard reassignments the
+  // routing policy made, park transitions taken, simulated core-cycles of
+  // capacity released while shards sat parked, and the per-epoch fleet
+  // timeline (one entry per closed epoch). All zero/empty when
+  // config.adaptive_routing was off.
+  std::uint64_t routing_epochs = 0;
+  std::uint64_t client_moves = 0;
+  std::uint64_t shards_parked = 0;
+  std::uint64_t parked_core_cycles = 0;
+  std::vector<FleetEpoch> fleet_timeline;
   // Flight-recorder digests (recorder-enabled runs only; DESIGN.md §13):
   // the client x shard traffic matrix, the per-op cycle-attribution totals,
   // every periodic heap snapshot taken during the run, and one on-demand

@@ -312,6 +312,108 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 4),
                        ::testing::Values(HeapKind::kSegregated, HeapKind::kSegment)));
 
+// ---- Adaptive-routing off switch ----
+//
+// NgxConfig::adaptive_routing = false promises bit-identity with
+// pre-adaptive builds REGARDLESS of the other fleet knobs: no epoch timer is
+// registered, no traffic matrix is tracked, every shard stays active. A run
+// with aggressive fleet knobs but the controller off must replay the default
+// config's exact history across shard counts and both carve-path layouts.
+
+struct FleetOffRunState {
+  RunResult r;
+  std::vector<std::uint64_t> free_spans;
+};
+
+FleetOffRunState RunFleetOffChurn(int shards, HeapKind kind, bool aggressive_knobs) {
+  const int clients = 4;
+  Machine machine(MachineConfig::Default(clients + shards));
+  NgxConfig cfg;
+  cfg.num_shards = shards;
+  cfg.heap_kind = kind;
+  cfg.hugepage_spans = false;
+  cfg.heap_window = 32 * 1024 * 1024;
+  if (aggressive_knobs) {
+    // Every fleet knob armed -- but the controller itself stays off, so none
+    // of this may reach the simulation.
+    cfg.adaptive_routing = false;
+    cfg.epoch_cycles = 1000;
+    cfg.fleet_min_shards = 1;
+    cfg.fleet_max_shards = 1;
+    cfg.park_threshold_ops = 1u << 30;  // would park everything if live
+    cfg.wake_queue_depth = 1;
+  }
+  std::vector<int> servers;
+  for (int s = 0; s < shards; ++s) {
+    servers.push_back(clients + s);
+  }
+  NgxSystem sys = MakeNgxSystem(machine, cfg, servers);
+  ChurnConfig wl;
+  wl.live_blocks = 120;
+  wl.ops = 1500;
+  wl.min_size = 16;
+  wl.max_size = 48 * 1024;
+  Churn workload(wl);
+  RunOptions opt;
+  opt.cores = {0, 1, 2, 3};
+  opt.server_cores = servers;
+  opt.seed = 42;
+  FleetOffRunState out{RunWorkload(machine, *sys.allocator, workload, opt), {}};
+  sys.fabric->DrainAll();
+  EXPECT_FALSE(sys.allocator->adaptive_fleet());
+  EXPECT_FALSE(sys.fabric->epoch_tracking());
+  if (const SpanDirectory* d = sys.allocator->directory()) {
+    for (int s = 0; s < shards; ++s) {
+      out.free_spans.push_back(d->free_spans(s));
+    }
+  }
+  return out;
+}
+
+class FleetKnobSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, HeapKind>> {};
+
+TEST_P(FleetKnobSweepTest, DisabledControllerMakesFleetKnobsInert) {
+  const int shards = std::get<0>(GetParam());
+  const HeapKind kind = std::get<1>(GetParam());
+  const FleetOffRunState plain = RunFleetOffChurn(shards, kind, false);
+  const FleetOffRunState armed = RunFleetOffChurn(shards, kind, true);
+
+  EXPECT_EQ(plain.r.wall_cycles, armed.r.wall_cycles);
+  ASSERT_EQ(plain.r.per_core.size(), armed.r.per_core.size());
+  for (std::size_t c = 0; c < plain.r.per_core.size(); ++c) {
+    EXPECT_EQ(plain.r.per_core[c].cycles, armed.r.per_core[c].cycles) << "core " << c;
+    EXPECT_EQ(plain.r.per_core[c].instructions, armed.r.per_core[c].instructions)
+        << "core " << c;
+    EXPECT_EQ(plain.r.per_core[c].loads, armed.r.per_core[c].loads) << "core " << c;
+    EXPECT_EQ(plain.r.per_core[c].stores, armed.r.per_core[c].stores) << "core " << c;
+    EXPECT_EQ(plain.r.per_core[c].llc_load_misses, armed.r.per_core[c].llc_load_misses)
+        << "core " << c;
+    EXPECT_EQ(plain.r.per_core[c].dtlb_load_misses, armed.r.per_core[c].dtlb_load_misses)
+        << "core " << c;
+    EXPECT_EQ(plain.r.per_core[c].atomic_rmws, armed.r.per_core[c].atomic_rmws)
+        << "core " << c;
+  }
+  EXPECT_EQ(plain.r.alloc_stats.mallocs, armed.r.alloc_stats.mallocs);
+  EXPECT_EQ(plain.r.alloc_stats.frees, armed.r.alloc_stats.frees);
+  EXPECT_EQ(plain.r.alloc_stats.bytes_live, armed.r.alloc_stats.bytes_live);
+  EXPECT_EQ(plain.r.alloc_stats.mapped_bytes, armed.r.alloc_stats.mapped_bytes);
+  EXPECT_EQ(plain.free_spans, armed.free_spans);
+  // And the controller really was off: no epochs, no moves, no timeline.
+  for (const FleetOffRunState* st : {&plain, &armed}) {
+    EXPECT_EQ(st->r.routing_epochs, 0u);
+    EXPECT_EQ(st->r.client_moves, 0u);
+    EXPECT_EQ(st->r.shards_parked, 0u);
+    EXPECT_EQ(st->r.parked_core_cycles, 0u);
+    EXPECT_TRUE(st->r.fleet_timeline.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardsByHeap, FleetKnobSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(HeapKind::kSegregated, HeapKind::kSegment)));
+
 class ThreadSweepTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(ThreadSweepTest, XmallocScalesOnTcmalloc) {

@@ -47,7 +47,11 @@ ServerHeapConfig SegmentConfig(std::uint32_t retain = 8) {
 
 TEST(SegmentHeap, ChurnPopsFreelistsRetiresSlabsAndReusesUnits) {
   auto machine = MakeMachine(1);
-  SegmentHeap heap(*machine, kNgxHeapBase, kNgxMetaBase, SegmentConfig());
+  // Eager retirement (no retention cache): this test pins the historical
+  // retire-on-fully-free mechanics; the retention cache has its own tests.
+  ServerHeapConfig cfg = SegmentConfig();
+  cfg.slab_retain_depth = 0;
+  SegmentHeap heap(*machine, kNgxHeapBase, kNgxMetaBase, cfg);
   Env env(*machine, 0);
   // 600 x 64 B: slab 0 (512 blocks) exhausts and unlinks, slab 1 serves the
   // rest from a reused unit of the same segment.
@@ -126,6 +130,102 @@ TEST(SegmentHeap, ZeroRetentionUnmapsRecycledSegments) {
   // pool to park in, must be unmapped immediately.
   EXPECT_EQ(heap.segment_stats().segments_unmapped, 2u);
   EXPECT_EQ(heap.stats().mapped_bytes, meta_mapped);
+}
+
+TEST(SegmentHeap, RetentionCacheStopsUnitBlockRetireChurn) {
+  auto machine = MakeMachine(1);
+  SegmentHeap heap(*machine, kNgxHeapBase, kNgxMetaBase, SegmentConfig());
+  Env env(*machine, 0);
+  // kUnit blocks carve one-block slabs: each malloc exhausts its slab on the
+  // spot and each free makes it fully free again. Without retention that is
+  // a RetireSlab on EVERY free and a full slab acquire on every malloc; the
+  // retention cache turns steady churn into freelist pops on one pinned
+  // slab.
+  const SegmentHeapStats& st = heap.segment_stats();
+  for (int round = 0; round < 100; ++round) {
+    const Addr a = heap.Malloc(env, kUnit);
+    ASSERT_NE(a, kNullAddr);
+    heap.Free(env, a);
+  }
+  EXPECT_EQ(st.slab_retires, 0u) << "churn must not retire the hot slab";
+  EXPECT_EQ(st.slab_retains, 100u) << "every free parks the slab in the cache";
+  EXPECT_EQ(st.slab_acquires, 1u) << "one slab serves the whole churn";
+  EXPECT_EQ(st.freelist_pops, 99u) << "every re-malloc pops the retained slab";
+  EXPECT_EQ(st.fresh_segments, 1u);
+  EXPECT_EQ(heap.stats().bytes_live, 0u);
+}
+
+TEST(SegmentHeap, RetentionDisabledRetiresOnEveryChurnRound) {
+  auto machine = MakeMachine(1);
+  ServerHeapConfig cfg = SegmentConfig();
+  cfg.slab_retain_depth = 0;
+  SegmentHeap heap(*machine, kNgxHeapBase, kNgxMetaBase, cfg);
+  Env env(*machine, 0);
+  // The same churn with the cache off: the historical worst case, one retire
+  // and one slab acquire per round (the figure the retention cache erases).
+  const SegmentHeapStats& st = heap.segment_stats();
+  for (int round = 0; round < 100; ++round) {
+    const Addr a = heap.Malloc(env, kUnit);
+    ASSERT_NE(a, kNullAddr);
+    heap.Free(env, a);
+  }
+  EXPECT_EQ(st.slab_retires, 100u);
+  EXPECT_EQ(st.slab_retains, 0u);
+  EXPECT_EQ(st.slab_acquires, 100u);
+  EXPECT_EQ(heap.stats().bytes_live, 0u);
+}
+
+TEST(SegmentHeap, RetentionDepthBoundsFullyFreeSlabs) {
+  auto machine = MakeMachine(1);
+  ServerHeapConfig cfg = SegmentConfig();
+  cfg.slab_retain_depth = 1;
+  SegmentHeap heap(*machine, kNgxHeapBase, kNgxMetaBase, cfg);
+  Env env(*machine, 0);
+  // Two live one-block slabs at depth 1; freeing both can retain only one.
+  // The second fully-free slab must retire: retention is a bounded cache,
+  // not a leak of every fully-free slab.
+  const Addr a = heap.Malloc(env, kUnit);
+  const Addr b = heap.Malloc(env, kUnit);
+  ASSERT_NE(a, kNullAddr);
+  ASSERT_NE(b, kNullAddr);
+  const SegmentHeapStats& st = heap.segment_stats();
+  heap.Free(env, a);
+  EXPECT_EQ(st.slab_retains, 1u);
+  heap.Free(env, b);
+  EXPECT_EQ(st.slab_retains, 1u) << "the cache is full; slab b must retire";
+  EXPECT_EQ(st.slab_retires, 1u);
+  EXPECT_EQ(heap.stats().bytes_live, 0u);
+}
+
+TEST(SegmentHeap, LazyRetireHysteresisAbsorbsMultiSlabExcursions) {
+  auto machine = MakeMachine(1);
+  SegmentHeap heap(*machine, kNgxHeapBase, kNgxMetaBase, SegmentConfig());
+  Env env(*machine, 0);
+  // Six live one-block slabs freed in a burst against the default depth (4):
+  // the first four fully-free slabs park in the cache, the overflow retires.
+  std::vector<Addr> blocks;
+  for (int i = 0; i < 6; ++i) {
+    blocks.push_back(heap.Malloc(env, kUnit));
+    ASSERT_NE(blocks.back(), kNullAddr);
+  }
+  const SegmentHeapStats& st = heap.segment_stats();
+  for (const Addr a : blocks) {
+    heap.Free(env, a);
+  }
+  EXPECT_EQ(st.slab_retains, 4u);
+  EXPECT_EQ(st.slab_retires, 2u);
+  // Re-allocating drains the cache before carving anything fresh.
+  const std::uint64_t acquires_before = st.slab_acquires;
+  std::vector<Addr> again;
+  for (int i = 0; i < 4; ++i) {
+    again.push_back(heap.Malloc(env, kUnit));
+    ASSERT_NE(again.back(), kNullAddr);
+  }
+  EXPECT_EQ(st.slab_acquires, acquires_before) << "four mallocs pop retained slabs";
+  for (const Addr a : again) {
+    heap.Free(env, a);
+  }
+  EXPECT_EQ(heap.stats().bytes_live, 0u);
 }
 
 TEST(SegmentHeap, FreelistOverflowSpillsPastTheInlineEntries) {
