@@ -1,0 +1,337 @@
+// Ablation for per-tenant traits + QoS lanes (DESIGN.md §15): what does lane
+// admission buy the latency-sensitive tenant when it shares a shard with a
+// throughput tenant's deep free batches?
+//
+// Four tenants ride the span-donation bench's skewed mix: "frontend" (the
+// low_latency preset) churns small blocks on core 0, "analytics" (throughput
+// preset, free_batch raised to 32 by explicit override) churns 8-16 KiB
+// buffers on core 2, and two default-preset workers churn small blocks on
+// cores 1 and 3. Static-by-client routing puts frontend and analytics on the
+// SAME shard (cores 0 and 2 -> shard 0), so every analytics free batch the
+// shard drains runs the shared server clock ahead of frontend's next sync
+// malloc. Lanes off, that queueing is unbounded -- whatever backlog the drain
+// window finds. Lanes on, bulk-lane eager windows admit at most the lane
+// quantum, and frontend's latency-lane syncs preempt the deferrable
+// bulk-drain work entirely (the preemption-credit model in OffloadEngine), so
+// its p99 stays within 2x of running alone.
+//
+// A second section pins the traits layer's bit-identity contract: the Table 3
+// pipeline run with an all-default tenant list must replay the exact same
+// simulated history (same SimStateHash) as the run with no tenants at all.
+// CI asserts both claims from the JSON metrics.
+#include "bench/bench_common.h"
+
+#include "src/workload/alloc_ops.h"
+
+using namespace ngx;
+using namespace ngx::bench;
+
+namespace {
+
+constexpr int kClients = 4;
+constexpr int kShards = 2;
+constexpr std::uint32_t kLaneQuantum = 16;
+constexpr std::uint32_t kAnalyticsFreeBatch = 32;
+constexpr std::uint32_t kEagerDrainAt = 32;
+
+// Per-core churn shape: frontend and the workers stay small; analytics is the
+// heavy tenant. OOM does not abort the bench -- the thread just stops.
+struct TenantLoad {
+  std::uint32_t live_blocks = 0;
+  std::uint32_t ops = 0;
+  std::uint64_t min_size = 0;
+  std::uint64_t max_size = 0;
+  std::uint32_t think = 0;  // app work per churn op (cycles)
+};
+
+class TenantThread : public SimThread {
+ public:
+  TenantThread(const TenantLoad& load, Allocator& alloc, int core, std::uint64_t seed)
+      : load_(load), alloc_(&alloc), core_(core), rng_(seed) {
+    blocks_.reserve(load.live_blocks);
+  }
+
+  int core_id() const override { return core_; }
+
+  bool Step(Env& env) override {
+    if (blocks_.size() < load_.live_blocks) {
+      const Addr b = TimedMalloc(env, *alloc_, rng_.Range(load_.min_size, load_.max_size));
+      if (b == kNullAddr) {
+        return false;
+      }
+      env.TouchWrite(b, 32);
+      blocks_.push_back(b);
+      return true;
+    }
+    if (done_ >= load_.ops) {
+      for (const Addr b : blocks_) {
+        TimedFree(env, *alloc_, b);
+      }
+      blocks_.clear();
+      return false;
+    }
+    const std::size_t i = rng_.Below(blocks_.size());
+    TimedFree(env, *alloc_, blocks_[i]);
+    const Addr b = TimedMalloc(env, *alloc_, rng_.Range(load_.min_size, load_.max_size));
+    if (b == kNullAddr) {
+      blocks_.erase(blocks_.begin() + static_cast<std::ptrdiff_t>(i));
+      return false;
+    }
+    env.TouchWrite(b, 32);
+    env.Work(load_.think);
+    blocks_[i] = b;
+    ++done_;
+    return true;
+  }
+
+ private:
+  TenantLoad load_;
+  Allocator* alloc_;
+  int core_;
+  Rng rng_;
+  std::vector<Addr> blocks_;
+  std::uint32_t done_ = 0;
+};
+
+// Assigns each thread the load of its CORE (not its index), so the run-alone
+// case (cores = {0}) exercises exactly the same frontend behaviour as the
+// mixed case.
+class QosMix : public Workload {
+ public:
+  explicit QosMix(std::vector<TenantLoad> by_core) : by_core_(std::move(by_core)) {}
+  std::string_view name() const override { return "tenant-qos-mix"; }
+  std::vector<std::unique_ptr<SimThread>> MakeThreads(Machine& machine, Allocator& alloc,
+                                                      const std::vector<int>& cores,
+                                                      std::uint64_t seed) override {
+    (void)machine;
+    std::vector<std::unique_ptr<SimThread>> threads;
+    threads.reserve(cores.size());
+    for (const int c : cores) {
+      threads.push_back(std::make_unique<TenantThread>(
+          by_core_[static_cast<std::size_t>(c)], alloc, c,
+          seed + 31 * static_cast<std::uint64_t>(c)));
+    }
+    return threads;
+  }
+
+ private:
+  std::vector<TenantLoad> by_core_;
+};
+
+std::vector<TenantLoad> MixLoads() {
+  TenantLoad frontend;
+  frontend.live_blocks = 400;
+  frontend.ops = 3000;
+  frontend.min_size = 64;
+  frontend.max_size = 256;
+  frontend.think = 120;  // request handling between allocations
+  TenantLoad analytics;
+  analytics.live_blocks = 1600;
+  analytics.ops = 1200;
+  analytics.min_size = 8 * 1024;
+  analytics.max_size = 16 * 1024;
+  analytics.think = 30;
+  TenantLoad worker = frontend;
+  worker.ops = 2000;
+  worker.think = 60;
+  return {frontend, worker, analytics, worker};
+}
+
+NgxConfig QosConfig(bool lanes_on) {
+  NgxConfig cfg = NgxConfig::PaperPrototype();
+  cfg.num_shards = kShards;
+  cfg.hugepage_spans = false;
+  cfg.qos_lanes = lanes_on;
+  cfg.lane_quantum = kLaneQuantum;
+
+  TenantSpec frontend;
+  frontend.name = "frontend";
+  frontend.traits = MakeTenantTraits("low_latency");
+  frontend.cores = {0};
+  TenantSpec analytics;
+  analytics.name = "analytics";
+  analytics.traits = MakeTenantTraits("throughput");
+  // Explicit override on top of the preset: deeper free batches than the
+  // throughput default, the worst case lanes are supposed to contain.
+  analytics.traits.free_batch = kAnalyticsFreeBatch;
+  analytics.cores = {2};
+  TenantSpec worker_a;
+  worker_a.name = "worker_a";
+  worker_a.cores = {1};
+  TenantSpec worker_b;
+  worker_b.name = "worker_b";
+  worker_b.cores = {3};
+  cfg.tenants = {frontend, analytics, worker_a, worker_b};
+  return cfg;
+}
+
+struct QosPoint {
+  std::string label;
+  std::uint64_t wall = 0;
+  std::vector<std::string> tenant_names;
+  std::vector<HistogramSummary> tenant_latency;
+  std::uint64_t ring_full_stalls = 0;
+  std::uint64_t busy_waits = 0;
+
+  const HistogramSummary& Tenant(const std::string& name) const {
+    for (std::size_t i = 0; i < tenant_names.size(); ++i) {
+      if (tenant_names[i] == name) {
+        return tenant_latency[i];
+      }
+    }
+    static const HistogramSummary kEmpty{};
+    return kEmpty;
+  }
+};
+
+QosPoint RunCase(BenchCli& cli, const std::string& label, bool mixed, bool lanes_on) {
+  Machine machine(MachineConfig::Default(kClients + kShards));
+  // The lanes-on mixed run is the traced one.
+  cli.EnableTelemetry(machine, /*allow_trace=*/mixed && lanes_on);
+  NgxSystem sys = MakeNgxSystem(machine, QosConfig(lanes_on), /*first_server_core=*/kClients);
+  // Background drain threshold in every case (the server's poll loop notices
+  // filling rings); what changes across cases is only how much one window
+  // may admit and who may preempt it.
+  sys.fabric->set_eager_drain_at(kEagerDrainAt);
+
+  QosMix workload(MixLoads());
+  RunOptions opt;
+  opt.cores = mixed ? FirstCores(kClients) : std::vector<int>{0};
+  opt.seed = 7;
+  for (int s = 0; s < kShards; ++s) {
+    opt.server_cores.push_back(kClients + s);
+  }
+  const RunResult r = RunWorkload(machine, *sys.allocator, workload, opt);
+  sys.fabric->DrainAll();
+  cli.Capture(machine);
+
+  QosPoint out;
+  out.label = label;
+  out.wall = r.wall_cycles;
+  out.tenant_names = r.tenant_names;
+  out.tenant_latency = r.tenant_sync_latency;
+  out.ring_full_stalls = sys.fabric->TotalStats().ring_full_stalls;
+  out.busy_waits = sys.fabric->TotalStats().server_busy_waits;
+  return out;
+}
+
+// Replays bench_table3_nextgen's pipeline row (the pinned final-state hash)
+// with and without an all-default tenant list. Telemetry stays off, exactly
+// like the hashed run there.
+std::uint64_t HashedPipelineRun(bool with_default_tenant) {
+  Machine machine(Table3Machine());
+  NgxConfig cfg = NgxConfig::PaperPrototype();
+  cfg.hugepage_spans = false;
+  cfg.prediction = true;
+  cfg.stash_pipeline = true;
+  cfg.stash_refill_mark = 2;
+  cfg.stash_capacity = 14;
+  if (with_default_tenant) {
+    TenantSpec spec;
+    spec.name = "default_tenant";
+    spec.cores = {0};
+    cfg.tenants.push_back(spec);
+  }
+  NgxSystem sys = MakeNgxSystem(machine, cfg, /*server_core=*/1);
+  XalancLike workload(XalancTable3Config());
+  RunOptions opt;
+  opt.cores = {0};
+  opt.seed = 7;
+  opt.server_cores = {1};
+  const RunResult r = RunWorkload(machine, *sys.allocator, workload, opt);
+  sys.fabric->DrainAll();
+  return SimStateHash(r);
+}
+
+double Ratio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchCli cli("ablation_tenant_qos", argc, argv);
+  std::cout << "=== Ablation: per-tenant traits + QoS lanes ===\n\n";
+  std::cout << kClients << " clients / " << kShards << " shards, static-by-client routing:\n"
+            << "frontend (low_latency, core 0) shares shard 0 with analytics (throughput,\n"
+            << "free_batch=" << kAnalyticsFreeBatch << ", core 2). sync latency is the "
+            << "client-observed malloc round trip.\n\n";
+
+  const QosPoint alone = RunCase(cli, "frontend alone", /*mixed=*/false, /*lanes_on=*/false);
+  std::cerr << "[done] frontend alone\n";
+  const QosPoint lanes_off = RunCase(cli, "mixed, lanes off", /*mixed=*/true, /*lanes_on=*/false);
+  std::cerr << "[done] mixed lanes off\n";
+  const QosPoint lanes_on = RunCase(cli, "mixed, lanes on", /*mixed=*/true, /*lanes_on=*/true);
+  std::cerr << "[done] mixed lanes on\n";
+
+  const std::uint64_t alone_p99 = alone.Tenant("frontend").p99;
+  const std::uint64_t off_p99 = lanes_off.Tenant("frontend").p99;
+  const std::uint64_t on_p99 = lanes_on.Tenant("frontend").p99;
+  const double ratio_off = Ratio(off_p99, alone_p99);
+  const double ratio_on = Ratio(on_p99, alone_p99);
+
+  TextTable t({"case", "frontend p50", "frontend p99", "analytics p99", "wall cycles",
+               "ring-full stalls"});
+  for (const QosPoint* p : {&alone, &lanes_off, &lanes_on}) {
+    t.AddRow({p->label, FormatInt(p->Tenant("frontend").p50),
+              FormatInt(p->Tenant("frontend").p99), FormatInt(p->Tenant("analytics").p99),
+              FormatSci(static_cast<double>(p->wall)), FormatInt(p->ring_full_stalls)});
+  }
+  std::cout << t.ToString() << "\n";
+
+  std::cout << "frontend sync p99 vs run-alone: lanes off " << FormatFixed(ratio_off, 2)
+            << "x, lanes on " << FormatFixed(ratio_on, 2) << "x\n";
+  std::cout << "expectation: lanes off, frontend queues behind analytics' drained free\n"
+            << "batches (unbounded admission windows); lanes on, bulk windows are bounded\n"
+            << "to the " << kLaneQuantum << "-entry quantum and latency-lane syncs preempt "
+            << "deferred bulk work,\nso the ratio stays <= 2x.\n\n";
+
+  // Bit-identity: the traits layer must be pure configuration plumbing. An
+  // all-default tenant list resolves to exactly the global knobs, so the
+  // Table 3 pipeline history -- the hash bench_table3_nextgen pins -- must
+  // replay byte-for-byte.
+  const std::uint64_t hash_plain = HashedPipelineRun(/*with_default_tenant=*/false);
+  const std::uint64_t hash_tenant = HashedPipelineRun(/*with_default_tenant=*/true);
+  const bool bit_identical = hash_plain == hash_tenant;
+  std::cerr << "[done] bit-identity replay\n";
+  std::cout << "default-traits bit-identity: " << (bit_identical ? "ok" : "FAILED")
+            << " (final-state hash " << std::hex << hash_plain << std::dec << ")\n";
+
+  JsonValue cases = JsonValue::Array();
+  for (const QosPoint* p : {&alone, &lanes_off, &lanes_on}) {
+    JsonValue o = JsonValue::Object();
+    o.Set("label", JsonValue(p->label));
+    o.Set("wall_cycles", JsonValue(p->wall));
+    o.Set("ring_full_stalls", JsonValue(p->ring_full_stalls));
+    o.Set("server_busy_waits", JsonValue(p->busy_waits));
+    JsonValue tenants = JsonValue::Object();
+    for (std::size_t i = 0; i < p->tenant_names.size(); ++i) {
+      tenants.Set(p->tenant_names[i], SummaryJson(p->tenant_latency[i]));
+    }
+    o.Set("tenant_sync_latency", tenants);
+    cases.Push(o);
+  }
+  cli.Set("cases", cases);
+  cli.Metric("frontend_alone_p99", alone_p99);
+  cli.Metric("frontend_lanes_off_p99", off_p99);
+  cli.Metric("frontend_lanes_on_p99", on_p99);
+  cli.Metric("isolation_ratio_lanes_off", ratio_off);
+  cli.Metric("isolation_ratio_lanes_on", ratio_on);
+  cli.Metric("analytics_lanes_on_p99", lanes_on.Tenant("analytics").p99);
+  cli.Metric("analytics_lanes_off_p99", lanes_off.Tenant("analytics").p99);
+  cli.Metric("lanes_on_wall_cycles", lanes_on.wall);
+  cli.Metric("lanes_off_wall_cycles", lanes_off.wall);
+  cli.Metric("traits_bit_identical", JsonValue(bit_identical));
+  char hash_hex[32];
+  std::snprintf(hash_hex, sizeof(hash_hex), "%016llx",
+                static_cast<unsigned long long>(hash_plain));
+  cli.Metric("final_state_hash", JsonValue(hash_hex));
+
+  if (!bit_identical) {
+    std::cerr << "error: all-default tenant list diverged from the tenant-free run ("
+              << std::hex << hash_tenant << " != " << hash_plain << std::dec << ")\n";
+    cli.Finish();
+    return 1;
+  }
+  return cli.Finish();
+}

@@ -17,55 +17,9 @@
 #include "src/alloc/layout.h"
 #include "src/alloc/mimalloc/mi_allocator.h"
 
-namespace ngx {
-namespace bench {
-
-MachineConfig Table3Machine() {
-  MachineConfig m = MachineConfig::ScaledWorkstation(2);
-  m.atomic_rmw_latency = 40;      // weak memory model (4.2)
-  m.atomic_remote_extra = 60;
-  m.remote_transfer_latency = 28;  // same-cluster transfer ~= A72 L2 hit
-  m.invalidate_latency = 15;
-  m.count_hitm_as_llc_miss = false;  // transfers ride the cluster L2
-  return m;
-}
-
-// FNV-1a over the sim-visible outcome of a run: final clocks, every core's
-// PMU counters and the allocator's own books. Two runs that agree here went
-// through the same simulated history as far as any reported number can tell,
-// which is what "the flight recorder is purely observational" promises.
-std::uint64_t SimStateHash(const RunResult& r) {
-  std::uint64_t h = 1469598103934665603ull;
-  auto mix = [&h](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xff;
-      h *= 1099511628211ull;
-    }
-  };
-  mix(r.wall_cycles);
-  for (const PmuCounters& p : r.per_core) {
-    mix(p.cycles);
-    mix(p.instructions);
-    mix(p.llc_load_misses);
-    mix(p.llc_store_misses);
-    mix(p.dtlb_load_misses);
-    mix(p.dtlb_store_misses);
-    mix(p.atomic_rmws);
-    mix(p.alloc_cycles);
-  }
-  mix(r.alloc_stats.mallocs);
-  mix(r.alloc_stats.frees);
-  mix(r.alloc_stats.bytes_requested);
-  mix(r.alloc_stats.bytes_live);
-  mix(r.alloc_stats.mapped_bytes);
-  mix(r.alloc_stats.mmap_calls);
-  mix(r.alloc_stats.munmap_calls);
-  mix(r.alloc_stats.oom_failures);
-  return h;
-}
-
-}  // namespace bench
-}  // namespace ngx
+// Table3Machine and SimStateHash live in bench_common.h: the tenant-QoS
+// ablation and the determinism-sweep tests replay this bench's pipeline run
+// and must hash it with byte-for-byte the same recipe.
 
 int main(int argc, char** argv) {
   using namespace ngx;

@@ -10,8 +10,10 @@
 #define NGX_SRC_CORE_NEXTGEN_CONFIG_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/core/heap_kind.h"
+#include "src/core/tenant_traits.h"
 #include "src/offload/routing.h"
 
 namespace ngx {
@@ -148,6 +150,23 @@ struct NgxConfig {
   // parked shard's own backlog or the busiest active shard's depth reaching
   // this many entries.
   std::uint64_t wake_queue_depth = 16;
+  // Per-tenant traits (DESIGN.md §15): named contracts binding client cores
+  // to preset/override knobs -- stash capacity and refill mark, free_batch,
+  // watermark spans, home-shard carve layout and cluster placement --
+  // resolved at registration instead of every tenant riding the global
+  // values above. Empty (the default) keeps the single implicit tenant and
+  // is bit-identical to pre-traits builds; so is a list whose every entry
+  // inherits everything.
+  std::vector<TenantSpec> tenants;
+  // QoS lanes where tenants meet (DESIGN.md §15): sync-bound drains serve
+  // latency-lane rings first, and a bulk-lane tenant's eager/backpressure
+  // drains are admitted at most lane_quantum entries per window, bounding
+  // how far a free batch can run the server clock ahead of a latency
+  // tenant's next sync request. False = the historical drain-everything
+  // admission, bit-identical whatever the tenant lanes say.
+  bool qos_lanes = false;
+  std::uint32_t lane_quantum = 8;
+
   // Server-core placement policy used by MakeNgxSystem's placed overload.
   PlacementKind placement = PlacementKind::kContiguous;
   // Total heap window carved into shard slices. 0 = the full kHeapWindow;

@@ -151,6 +151,21 @@ class Machine {
       }
     }
   }
+  // Re-pins a timer hook to another core without touching its cadence. The
+  // next due point is kept, so the hook keeps its wall-clock schedule and
+  // only the clock that gets pulled up changes. Mutating in place (no vector
+  // resize) is the one re-pin that is safe from INSIDE the hook's own
+  // callback: RunTimerHooks holds a reference into timer_hooks_ across the
+  // call, so RemoveTimerHook + AddTimerHook there would dangle. The elastic
+  // fleet's epoch controller uses this to follow the elected ticker shard.
+  void MoveTimerHook(int id, int core_id) {
+    for (TimerHook& t : timer_hooks_) {
+      if (t.id == id) {
+        t.core_id = core_id;
+        return;
+      }
+    }
+  }
   bool has_timer_hooks() const { return !timer_hooks_.empty(); }
   // Fires every hook whose due point has been reached by its core's clock or
   // by `horizon` (the scheduler's current virtual time front). Catches up

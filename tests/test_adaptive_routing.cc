@@ -328,6 +328,51 @@ TEST(AdaptiveFleet, DrainingShardReturnsGrantedSpansHomeBeforeParking) {
   EXPECT_EQ(sys.allocator->stats().mallocs, sys.allocator->stats().frees);
 }
 
+// The epoch controller is ELECTED, not hard-wired to the first server core:
+// when the shard hosting the ticker parks, the timer must re-pin to an
+// active shard's core and keep closing epochs. Regression for the original
+// hard-wiring, under which parking shard 0 silently froze the whole fleet
+// (no epochs, no wakes, routing stuck on the last pre-park placement).
+TEST(AdaptiveFleet, EpochTickerSurvivesParkingItsOwnShard) {
+  auto machine = MakeMachine(4);  // clients 0-1, shards on cores 2-3
+  auto sys = MakeNgxSystem(*machine, AdaptiveConfig());
+  ASSERT_EQ(sys.allocator->epoch_ticker_shard(), 0) << "ticker starts on shard 0";
+
+  // Client 1's unplaced mallocs fall back to shard 1 (1 % 2 active): shard 0
+  // sees zero epoch ops and parks at the close -- taking the original
+  // hard-wired ticker core with it.
+  Env c1(*machine, 1);
+  std::vector<Addr> blocks;
+  for (int i = 0; i < 400; ++i) {
+    const Addr a = sys.allocator->Malloc(c1, 64);
+    ASSERT_NE(a, kNullAddr);
+    ASSERT_EQ(sys.allocator->ShardOfAddr(a), 1);
+    blocks.push_back(a);
+  }
+  machine->RunTimerHooks(machine->core(1).now());
+  ASSERT_EQ(sys.fabric->shard_state(0), ShardState::kParked);
+  EXPECT_EQ(sys.allocator->epoch_ticker_shard(), 1)
+      << "the controller must re-elect onto the surviving active shard";
+  const std::uint64_t epochs = sys.allocator->routing_epochs();
+  ASSERT_GT(epochs, 0u);
+
+  // With shard 0 parked, later epochs must still close on the elected core.
+  c1.Work(2 * AdaptiveConfig().epoch_cycles);
+  machine->RunTimerHooks(machine->core(1).now());
+  EXPECT_GT(sys.allocator->routing_epochs(), epochs)
+      << "epoch ticks must keep arriving after the election";
+  EXPECT_EQ(sys.fabric->shard_state(1), ShardState::kActive);
+
+  for (const Addr a : blocks) {
+    sys.allocator->Free(c1, a);
+  }
+  sys.allocator->Flush(c1);
+  sys.fabric->DrainAll();
+  const AllocatorStats s = sys.allocator->stats();
+  EXPECT_EQ(s.mallocs, s.frees);
+  EXPECT_EQ(s.bytes_live, 0u);
+}
+
 // ---- Fleet knob guards must abort in every build type ----
 
 TEST(AdaptiveFleetDeath, FleetMinAboveShardCountAborts) {

@@ -3,6 +3,7 @@
 // stay balanced for any seed.
 #include <gtest/gtest.h>
 
+#include "bench/bench_common.h"
 #include "src/alloc/registry.h"
 #include "src/core/nextgen_malloc.h"
 #include "src/workload/churn.h"
@@ -413,6 +414,117 @@ INSTANTIATE_TEST_SUITE_P(
     ShardsByHeap, FleetKnobSweepTest,
     ::testing::Combine(::testing::Values(1, 2, 4),
                        ::testing::Values(HeapKind::kSegregated, HeapKind::kSegment)));
+
+// ---- Per-tenant traits determinism ----
+//
+// The traits layer (DESIGN.md §15) promises two things. First, an inert
+// tenant list -- empty, or one default tenant inheriting every knob -- is
+// BIT-IDENTICAL to the pre-traits build: the pin below replays
+// bench_table3_nextgen's pipeline row byte for byte and checks the same
+// final-state hash that bench asserts against its recorded value. Second,
+// a heterogeneous tenant mix with lane admission on is still a
+// deterministic simulation: two identical runs agree on every clock, PMU
+// stream and book entry, across shard counts.
+
+// The exact pipeline run bench_table3_nextgen hashes (machine, workload,
+// config, seed); reproduced here so a traits regression that shifts one
+// cycle fails in ctest, not only in the bench.
+std::uint64_t HashedTable3PipelineRun(bool with_default_tenant) {
+  Machine machine(bench::Table3Machine());
+  NgxConfig cfg = NgxConfig::PaperPrototype();
+  cfg.hugepage_spans = false;
+  cfg.prediction = true;
+  cfg.stash_pipeline = true;
+  cfg.stash_refill_mark = 2;
+  cfg.stash_capacity = 14;
+  if (with_default_tenant) {
+    TenantSpec t;
+    t.name = "default_tenant";  // every knob at kInherit, normal lane
+    t.cores = {0};
+    cfg.tenants = {t};
+  }
+  NgxSystem sys = MakeNgxSystem(machine, cfg, /*server_core=*/1);
+  XalancLike wl(bench::XalancTable3Config());
+  RunOptions opt;
+  opt.cores = {0};
+  opt.seed = 7;
+  opt.server_cores = {1};
+  const RunResult r = RunWorkload(machine, *sys.allocator, wl, opt);
+  return bench::SimStateHash(r);
+}
+
+// The hash bench_table3_nextgen pinned when the pipeline row was frozen.
+// If this fails, something changed simulated history for tenant-less runs:
+// either an unintended timing regression, or a deliberate model change --
+// in which case re-pin BOTH this constant and the bench's copy.
+constexpr std::uint64_t kTable3PipelineHash = 0xa60bbd916fa447cfull;
+
+TEST(TenantTraitsDeterminism, DefaultTraitsReplayThePinnedPipelineHash) {
+  EXPECT_EQ(HashedTable3PipelineRun(false), kTable3PipelineHash)
+      << "the tenant-less pipeline run no longer matches PR 8's history";
+  EXPECT_EQ(HashedTable3PipelineRun(true), kTable3PipelineHash)
+      << "an all-default tenant list must be bit-identical to no tenants";
+}
+
+// Heterogeneous traits + lane admission across {1, 2, 4} shards: the QoS
+// machinery (lane-priority DrainAll sweeps, quantum-bounded bulk windows,
+// the shadow no-bulk schedule) must replay exactly, and the books must
+// balance under every mix.
+class TenantShardSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TenantShardSweepTest, HeterogeneousTraitsWithLanesAreDeterministic) {
+  const int shards = GetParam();
+  auto run = [&] {
+    const int clients = 4;
+    Machine machine(MachineConfig::Default(clients + shards));
+    NgxConfig cfg;
+    cfg.num_shards = shards;
+    cfg.hugepage_spans = false;
+    cfg.heap_window = static_cast<std::uint64_t>(shards) * 8 * 1024 * 1024;
+    cfg.prediction = true;
+    cfg.stash_pipeline = true;  // kicked refills exercise the shadow clock
+    cfg.qos_lanes = true;
+    cfg.lane_quantum = 8;
+    TenantSpec fe;
+    fe.name = "frontend";
+    fe.traits = MakeTenantTraits("low_latency");
+    fe.cores = {0};
+    TenantSpec an;
+    an.name = "analytics";
+    an.traits = MakeTenantTraits("throughput");
+    an.cores = {1};
+    TenantSpec ca;
+    ca.name = "cache";
+    ca.traits = MakeTenantTraits("ephemeral");
+    ca.cores = {2};
+    cfg.tenants = {fe, an, ca};  // core 3 stays on the implicit default
+    std::vector<int> servers;
+    for (int s = 0; s < shards; ++s) {
+      servers.push_back(clients + s);
+    }
+    NgxSystem sys = MakeNgxSystem(machine, cfg, servers);
+    ChurnConfig wl;
+    wl.live_blocks = 80;
+    wl.ops = 800;
+    wl.min_size = 32;
+    wl.max_size = 2048;
+    Churn workload(wl);
+    RunOptions opt;
+    opt.cores = {0, 1, 2, 3};
+    opt.server_cores = servers;
+    opt.seed = 42;
+    const RunResult r = RunWorkload(machine, *sys.allocator, workload, opt);
+    sys.fabric->DrainAll();
+    const AllocatorStats s = sys.allocator->stats();
+    EXPECT_EQ(s.mallocs, s.frees) << shards << " shards";
+    EXPECT_EQ(s.bytes_live, 0u);
+    return bench::SimStateHash(r);
+  };
+  EXPECT_EQ(run(), run()) << "traits-on run must replay bit-identically at "
+                          << shards << " shards";
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, TenantShardSweepTest, ::testing::Values(1, 2, 4));
 
 class ThreadSweepTest : public ::testing::TestWithParam<int> {};
 

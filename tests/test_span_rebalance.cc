@@ -408,6 +408,81 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<1>(info.param));
     });
 
+// ---- The same stress under heterogeneous per-tenant traits ----
+//
+// The traits layer (DESIGN.md §15) must not bend a single span-economy
+// invariant: with the two clients running OPPOSITE contracts -- client 0
+// low-latency (unbatched frees, latency lane) and client 1 throughput
+// (deep free batches, bulk lane, its home shard's watermarks widened) --
+// plus lane admission on, the directory auditor and the shadow-heap
+// exerciser must hold exactly as they do for the homogeneous sweep, and
+// the books must still balance after the final flush.
+
+NgxConfig TenantRebalanceConfig(int shards) {
+  NgxConfig cfg = RebalanceConfig(shards);
+  cfg.qos_lanes = true;
+  cfg.lane_quantum = 8;
+  TenantSpec fe;
+  fe.name = "frontend";
+  fe.traits = MakeTenantTraits("low_latency");
+  fe.cores = {0};
+  TenantSpec an;
+  an.name = "analytics";
+  an.traits = MakeTenantTraits("throughput");
+  an.traits.free_batch = 8;
+  // Widen the watermark band of the shard this tenant homes on (its static
+  // route, shard 1): heterogeneous per-shard marks must rebalance cleanly
+  // against the global band on every other shard.
+  an.traits.span_low_mark = 4;
+  an.traits.span_high_mark = 24;
+  an.cores = {1};
+  cfg.tenants = {fe, an};
+  return cfg;
+}
+
+class TenantSpanRebalanceFabricStress
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(TenantSpanRebalanceFabricStress, HeterogeneousTraitsKeepTheDirectoryConsistent) {
+  const auto [seed, shards] = GetParam();
+  auto machine = MakeMachine(shards + 2);
+  auto sys = MakeNgxSystem(*machine, TenantRebalanceConfig(shards));
+  ASSERT_TRUE(sys.allocator->rebalancing());
+  ASSERT_EQ(sys.allocator->core_lane(0), QosLane::kLatency);
+  ASSERT_EQ(sys.allocator->core_lane(1), QosLane::kBulk);
+  ASSERT_EQ(sys.allocator->shard_low_mark(1), 4u);
+  ShadowHeapExerciser ex(*machine, *sys.allocator, seed);
+  for (int round = 0; round < 2; ++round) {
+    for (int core = 0; core < 2; ++core) {
+      ex.Run(core, 500, 40, 64, 48 * 1024);
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+    }
+  }
+  ex.FreeAll(0);
+  for (int core = 0; core < 2; ++core) {
+    Env env(*machine, core);
+    sys.allocator->Flush(env);
+  }
+  sys.fabric->DrainAll();
+  AuditDirectoryConsistency(*sys.allocator->directory());
+  const AllocatorStats stats = sys.allocator->stats();
+  EXPECT_EQ(stats.mallocs - stats.oom_failures, stats.frees);
+  EXPECT_EQ(stats.bytes_live, 0u);
+  EXPECT_EQ(sys.allocator->partition_oom_failures(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByShards, TenantSpanRebalanceFabricStress,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3, 42, 99, 12345, 0xdeadbeef,
+                                                        0xfeedface),
+                       ::testing::Values(2, 4, 8)),
+    [](const ::testing::TestParamInfo<std::tuple<std::uint64_t, int>>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_shards" +
+             std::to_string(std::get<1>(info.param));
+    });
+
 // ---- Death tests: the return protocol's fatal bookkeeping guards ----
 
 TEST(SpanRebalanceDeath, DoubleReturnDies) {
