@@ -34,6 +34,19 @@ inline JsonValue SummaryJson(const HistogramSummary& s) {
   return o;
 }
 
+// Per-region dTLB breakdown ({"heap":{"lookups":..,"walks":..},...}): which
+// fabric window each TLB lookup was translating and how many walked.
+inline JsonValue DtlbRegionsJson(const PmuCounters& p) {
+  JsonValue o = JsonValue::Object();
+  for (int r = 0; r < kNumTlbRegions; ++r) {
+    JsonValue region = JsonValue::Object();
+    region.Set("lookups", JsonValue(p.dtlb_region_lookups[static_cast<std::size_t>(r)]));
+    region.Set("walks", JsonValue(p.dtlb_region_walks[static_cast<std::size_t>(r)]));
+    o.Set(TlbRegionName(static_cast<TlbRegion>(r)), std::move(region));
+  }
+  return o;
+}
+
 // JSON digest of the PMU events the paper's tables report.
 inline JsonValue PmuJson(const PmuCounters& p) {
   JsonValue o = JsonValue::Object();
@@ -45,6 +58,7 @@ inline JsonValue PmuJson(const PmuCounters& p) {
   o.Set("dtlb_store_misses", JsonValue(p.dtlb_store_misses));
   o.Set("atomic_rmws", JsonValue(p.atomic_rmws));
   o.Set("alloc_cycles", JsonValue(p.alloc_cycles));
+  o.Set("dtlb_regions", DtlbRegionsJson(p));
   return o;
 }
 

@@ -118,6 +118,23 @@ int main(int argc, char** argv) {
   const std::uint64_t segm_carve = segm_sys.fabric->TotalStats().carve_cycles;
   std::cerr << "[done] nextgen+segment-heap\n";
 
+  // The hugepage rung (DESIGN.md §16): the pipeline configuration plus
+  // packed hugepage spans and hugepage-backed fabric metadata -- the paper's
+  // Table-1 dTLB argument carried into the fabric's own structures, going
+  // after the documented Table-3 ceiling gap (EXPERIMENTS.md: +1.06%
+  // measured vs ~+1.35% model cap at this operating point).
+  Machine m_huge(Table3Machine());
+  NgxConfig huge_cfg = pipe_cfg;
+  huge_cfg.hugepage_spans = true;
+  huge_cfg.hugepage_packing = true;
+  huge_cfg.hugepage_metadata = true;
+  NgxSystem huge_sys = MakeNgxSystem(m_huge, huge_cfg, /*server_core=*/1);
+  XalancLike wl_huge(wl);
+  const RunResult r_huge = RunWorkload(m_huge, *huge_sys.allocator, wl_huge, opt_pipe);
+  huge_sys.fabric->DrainAll();
+  const std::uint64_t huge_waste = huge_sys.allocator->map_waste_bytes();
+  std::cerr << "[done] nextgen+hugepage (packed spans + metadata)\n";
+
   // Flight recorder (DESIGN.md §13): rerun the pipeline configuration with
   // the recorder on. This both feeds the cycle-attribution table below and
   // proves the recorder observational: the run must replay the exact same
@@ -158,6 +175,7 @@ int main(int argc, char** argv) {
   const double pred_cycles = static_cast<double>(r_pred.wall_cycles);
   const double pipe_cycles = static_cast<double>(r_pipe.wall_cycles);
   const double segm_cycles = static_cast<double>(r_segm.wall_cycles);
+  const double huge_cycles = static_cast<double>(r_huge.wall_cycles);
   const std::uint64_t base_carve = sys.fabric->TotalStats().carve_cycles;
   TextTable shape({"shape metric", "paper", "measured"});
   shape.AddRow({"NextGen speedup over Mimalloc", "+4.51%",
@@ -168,6 +186,8 @@ int main(int argc, char** argv) {
                 FormatFixed(100.0 * (mi_cycles / pipe_cycles - 1.0), 2) + "%"});
   shape.AddRow({"  + segment-heap carve path", "(not in paper)",
                 FormatFixed(100.0 * (mi_cycles / segm_cycles - 1.0), 2) + "%"});
+  shape.AddRow({"  + packed hugepages (spans+meta)", "(not in paper)",
+                FormatFixed(100.0 * (mi_cycles / huge_cycles - 1.0), 2) + "%"});
   shape.AddRow({"dTLB-load misses reduced", "yes",
                 r_ngx.app.dtlb_load_misses < r_mi.app.dtlb_load_misses ? "yes" : "NO"});
   shape.AddRow({"LLC-load misses reduced", "yes",
@@ -225,11 +245,38 @@ int main(int argc, char** argv) {
   cli.Metric("segment_server_cycles", r_segm.server.cycles);
   cli.Metric("segregated_carve_cycles", base_carve);
   cli.Metric("segment_carve_cycles", segm_carve);
+  cli.Metric("nextgen_hugepage_wall_cycles", r_huge.wall_cycles);
+  cli.Metric("nextgen_hugepage_speedup_pct", 100.0 * (mi_cycles / huge_cycles - 1.0));
+  cli.Metric("hugepage_map_waste_bytes", huge_waste);
+  cli.Metric("pipeline_dtlb_misses",
+             r_pipe.app.dtlb_load_misses + r_pipe.app.dtlb_store_misses +
+                 r_pipe.server.dtlb_load_misses + r_pipe.server.dtlb_store_misses);
+  cli.Metric("hugepage_dtlb_misses",
+             r_huge.app.dtlb_load_misses + r_huge.app.dtlb_store_misses +
+                 r_huge.server.dtlb_load_misses + r_huge.server.dtlb_store_misses);
   JsonValue counters = JsonValue::Object();
   counters.Set("mimalloc", PmuJson(r_mi.app));
   counters.Set("nextgen", PmuJson(r_ngx.app));
   counters.Set("nextgen_server", PmuJson(r_ngx.server));
+  counters.Set("nextgen_hugepage", PmuJson(r_huge.app));
+  counters.Set("nextgen_hugepage_server", PmuJson(r_huge.server));
   cli.Set("app_core_counters", counters);
+  // Per-region dTLB rows (machine-wide: app + server core) for the pipeline
+  // rung vs the hugepage rung, rendered by report.py's dtlb table.
+  JsonValue dtlb_cases = JsonValue::Array();
+  {
+    JsonValue c = JsonValue::Object();
+    c.Set("label", JsonValue("pipeline"));
+    c.Set("dtlb_regions", DtlbRegionsJson(r_pipe.app + r_pipe.server));
+    dtlb_cases.Push(std::move(c));
+  }
+  {
+    JsonValue c = JsonValue::Object();
+    c.Set("label", JsonValue("pipeline+hugepage"));
+    c.Set("dtlb_regions", DtlbRegionsJson(r_huge.app + r_huge.server));
+    dtlb_cases.Push(std::move(c));
+  }
+  cli.Set("cases", std::move(dtlb_cases));
   if (!r_ngx.shard_sync_latency.empty()) {
     cli.Metric("sync_latency", SummaryJson(r_ngx.shard_sync_latency[0]));
   }

@@ -161,6 +161,32 @@ def print_tenants(doc):
         print(table(rows, ["case", "tenant", "syncs", "p50", "p95", "p99", "max"]))
 
 
+def print_dtlb_regions(doc):
+    """Per-region dTLB table from any case carrying a dtlb_regions map
+    (bench_ablation_hugepage, bench_table3_nextgen): one row per
+    (case, fabric window) with lookups, walks and the walk rate."""
+    cases = doc.get("cases")
+    if not isinstance(cases, list):
+        return
+    rows = []
+    for case in cases:
+        regions = case.get("dtlb_regions")
+        if not isinstance(regions, dict):
+            continue
+        label = case.get("label", case.get("name", "?"))
+        for region, c in regions.items():
+            lookups = c.get("lookups", 0)
+            walks = c.get("walks", 0)
+            if not lookups:
+                continue
+            rate = 100.0 * walks / lookups
+            rows.append([label, region, f"{lookups:,}", f"{walks:,}",
+                         f"{rate:.3f}%", "#" * int(round(min(rate, 50.0)))])
+    if rows:
+        print("\nper-region dTLB walks:")
+        print(table(rows, ["case", "region", "lookups", "walks", "walk rate", ""]))
+
+
 def print_fleet(doc):
     """Per-epoch fleet shape from any case carrying a fleet_timeline
     (bench_ablation_adaptive_routing): active-core bar per epoch plus the
@@ -212,6 +238,7 @@ def report(path):
     print_matrix(doc)
     print_snapshot(doc)
     print_tenants(doc)
+    print_dtlb_regions(doc)
     print_fleet(doc)
 
 

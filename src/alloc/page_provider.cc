@@ -7,6 +7,36 @@
 
 namespace ngx {
 
+std::uint64_t HugepageLedger::Acquire(Addr addr, std::uint64_t bytes) {
+  std::uint64_t fresh = 0;
+  const Addr first = AlignDown(addr, kHugePageBytes);
+  const Addr last = AlignUp(addr + bytes, kHugePageBytes);
+  for (Addr frame = first; frame < last; frame += kHugePageBytes) {
+    if (++refs_[frame] == 1) {
+      ++fresh;
+      ++backed_frames_;
+    }
+  }
+  return fresh;
+}
+
+std::uint64_t HugepageLedger::Release(Addr addr, std::uint64_t bytes) {
+  std::uint64_t emptied = 0;
+  const Addr first = AlignDown(addr, kHugePageBytes);
+  const Addr last = AlignUp(addr + bytes, kHugePageBytes);
+  for (Addr frame = first; frame < last; frame += kHugePageBytes) {
+    auto it = refs_.find(frame);
+    NGX_CHECK(it != refs_.end() && it->second > 0,
+              "hugepage ledger release of an unbacked frame");
+    if (--it->second == 0) {
+      refs_.erase(it);
+      ++emptied;
+      --backed_frames_;
+    }
+  }
+  return emptied;
+}
+
 PageProvider::PageProvider(Addr base, std::uint64_t window, std::string tag)
     : base_(base), tag_(std::move(tag)) {
   assert(base % kHugePageBytes == 0);
@@ -24,53 +54,84 @@ Addr PageProvider::Carve(std::uint64_t bytes, std::uint64_t align) {
   return kNullAddr;
 }
 
-Addr PageProvider::Map(Env& env, std::uint64_t bytes, PageKind kind, std::uint64_t alignment) {
-  const std::uint64_t page = PageBytes(kind);
-  const std::uint64_t align = std::max<std::uint64_t>(page, alignment);
-  bytes = AlignUp(bytes, page);
+Addr PageProvider::DoMap(Env* env, Machine& machine, std::uint64_t bytes, PageKind kind,
+                         std::uint64_t alignment) {
+  // Packed hugepage spans carve at small-page grain: 32 contiguous 64-KiB
+  // spans share one 2-MiB frame instead of each claiming a whole hugepage.
+  const bool packed = ledger_ != nullptr && kind == PageKind::kHuge2M;
+  const std::uint64_t request = AlignUp(bytes, kSmallPageBytes);
+  const std::uint64_t grain = packed ? kSmallPageBytes : PageBytes(kind);
+  const std::uint64_t align = std::max<std::uint64_t>(grain, alignment);
+  bytes = AlignUp(bytes, grain);
   const Addr addr = Carve(bytes, align);
   if (addr == kNullAddr) {
     return kNullAddr;
   }
-  env.machine().address_map().Add(Region{addr, bytes, kind, tag_});
-  env.ChargeSyscall();
-  mapped_bytes_ += bytes;
-  ++mmap_calls_;
+  // Each carve registers its own region with the requested page kind: the
+  // TLB keys huge translations by vaddr / 2 MiB, so packed spans in the same
+  // frame share one TLB entry exactly as a real packed hugepage would.
+  machine.address_map().Add(Region{addr, bytes, kind, tag_});
+  if (packed) {
+    const std::uint64_t fresh = ledger_->Acquire(addr, bytes);
+    if (fresh > 0) {
+      // Only a carve that opens fresh frames reaches the kernel; filling an
+      // already-backed hugepage is a userspace bump.
+      if (env != nullptr) {
+        env->ChargeSyscall();
+      }
+      mapped_bytes_ += fresh * kHugePageBytes;
+      ++mmap_calls_;
+    }
+  } else {
+    if (env != nullptr) {
+      env->ChargeSyscall();
+    }
+    mapped_bytes_ += bytes;
+    ++mmap_calls_;
+  }
+  requested_bytes_ += request;
   if (observer_) {
     observer_(addr, bytes, true);
   }
   return addr;
 }
 
+Addr PageProvider::Map(Env& env, std::uint64_t bytes, PageKind kind, std::uint64_t alignment) {
+  return DoMap(&env, env.machine(), bytes, kind, alignment);
+}
+
 Addr PageProvider::MapAtStartup(Machine& machine, std::uint64_t bytes, PageKind kind,
                                 std::uint64_t alignment) {
-  const std::uint64_t page = PageBytes(kind);
-  const std::uint64_t align = std::max<std::uint64_t>(page, alignment);
-  bytes = AlignUp(bytes, page);
-  const Addr addr = Carve(bytes, align);
-  if (addr == kNullAddr) {
-    return kNullAddr;
-  }
-  machine.address_map().Add(Region{addr, bytes, kind, tag_});
-  mapped_bytes_ += bytes;
-  ++mmap_calls_;
-  if (observer_) {
-    observer_(addr, bytes, true);
-  }
-  return addr;
+  return DoMap(nullptr, machine, bytes, kind, alignment);
 }
 
 void PageProvider::Unmap(Env& env, Addr addr, std::uint64_t bytes) {
   const Region* r = env.machine().address_map().Find(addr);
   assert(r != nullptr && r->base == addr && "Unmap of a range that was not mapped");
-  const std::uint64_t aligned = AlignUp(bytes, PageBytes(r->kind));
+  // The region's recorded size, not AlignUp(bytes, page): a packed 64-KiB
+  // span region is tagged kHuge2M but covers only its own spans.
+  const std::uint64_t size = r->size;
+  const bool packed = ledger_ != nullptr && r->kind == PageKind::kHuge2M;
   env.machine().address_map().Remove(addr);
-  env.machine().memory().Discard(addr, aligned);
-  env.ChargeSyscall();
-  mapped_bytes_ -= aligned;
-  ++munmap_calls_;
+  env.machine().memory().Discard(addr, size);
+  if (packed) {
+    const std::uint64_t emptied = ledger_->Release(addr, size);
+    if (emptied > 0) {
+      env.ChargeSyscall();
+      // A frame can be opened by one shard's provider and emptied by
+      // another's after a donation; clamp so per-provider attribution never
+      // wraps (the shared ledger keeps the fabric-wide total exact).
+      mapped_bytes_ -= std::min(mapped_bytes_, emptied * kHugePageBytes);
+      ++munmap_calls_;
+    }
+  } else {
+    env.ChargeSyscall();
+    mapped_bytes_ -= size;
+    ++munmap_calls_;
+  }
+  requested_bytes_ -= std::min(requested_bytes_, AlignUp(bytes, kSmallPageBytes));
   if (observer_) {
-    observer_(addr, aligned, false);
+    observer_(addr, size, false);
   }
 }
 

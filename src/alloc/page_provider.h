@@ -12,16 +12,48 @@
 // construction-time window first and falls back to grafted ranges in the
 // order they arrived, so a provider that never donates or receives behaves
 // exactly like the original fixed window.
+//
+// Hugepage span packing (DESIGN.md §16): by default a kHuge2M Map rounds the
+// request up to a whole 2 MiB hugepage, so a 64-KiB span burns 31/32 of the
+// window it consumes. Attaching a HugepageLedger switches the provider into
+// packed mode: kHuge2M requests carve at small-page grain (32 spans share one
+// hugepage frame, each with its own kHuge2M region so the TLB model sees the
+// shared 2-MiB translation), and the mmap/munmap syscall is charged only when
+// a carve opens a fresh hugepage frame or an unmap empties one. The ledger is
+// shared across every span provider in a fabric so frames straddling a
+// donation boundary are never double-counted.
 #ifndef NGX_SRC_ALLOC_PAGE_PROVIDER_H_
 #define NGX_SRC_ALLOC_PAGE_PROVIDER_H_
 
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/sim/env.h"
 
 namespace ngx {
+
+// Host-side refcounts of live mappings per 2-MiB hugepage frame. One ledger
+// is shared by every packed span provider in a fabric: the OS-level hugepage
+// is a machine-wide resource, so a span donated across shards must land on
+// the frame the donor already backed without a second charge.
+class HugepageLedger {
+ public:
+  // Adds one reference per frame overlapping [addr, addr+bytes); returns how
+  // many of those frames were previously unbacked (fresh mmap work).
+  std::uint64_t Acquire(Addr addr, std::uint64_t bytes);
+  // Drops one reference per overlapping frame; returns how many frames hit
+  // zero references (real munmap work).
+  std::uint64_t Release(Addr addr, std::uint64_t bytes);
+
+  std::uint64_t backed_frames() const { return backed_frames_; }
+  std::uint64_t backed_bytes() const { return backed_frames_ * kHugePageBytes; }
+
+ private:
+  std::unordered_map<Addr, std::uint32_t> refs_;  // frame base -> live mappings
+  std::uint64_t backed_frames_ = 0;
+};
 
 class PageProvider {
  public:
@@ -62,7 +94,17 @@ class PageProvider {
 
   void set_observer(MapObserver obs) { observer_ = std::move(obs); }
 
+  // Enables hugepage span packing for kHuge2M maps (see the header comment).
+  // Must be set before the first Map; the ledger must outlive the provider.
+  void set_hugepage_ledger(HugepageLedger* ledger) { ledger_ = ledger; }
+  bool packed() const { return ledger_ != nullptr; }
+
   std::uint64_t mapped_bytes() const { return mapped_bytes_; }
+  // What callers actually asked for (4-KiB granular), before any rounding to
+  // the backing page size. mapped_bytes - requested_bytes (summed fabric-wide)
+  // is the map-waste honesty metric: 31/32 of every hugepage span map without
+  // packing, ~one partially filled frontier frame with it.
+  std::uint64_t requested_bytes() const { return requested_bytes_; }
   std::uint64_t mmap_calls() const { return mmap_calls_; }
   std::uint64_t munmap_calls() const { return munmap_calls_; }
   Addr base() const { return base_; }
@@ -76,12 +118,17 @@ class PageProvider {
 
   // Bump-carves from the first range that fits; kNullAddr when none does.
   Addr Carve(std::uint64_t bytes, std::uint64_t align);
+  // Shared Map/MapAtStartup body; `env` is null for the untimed startup path.
+  Addr DoMap(Env* env, Machine& machine, std::uint64_t bytes, PageKind kind,
+             std::uint64_t alignment);
 
   Addr base_;
   std::vector<Range> ranges_;  // [0] = construction window, then grafts
   std::string tag_;
   MapObserver observer_;
+  HugepageLedger* ledger_ = nullptr;  // non-null = packed hugepage spans
   std::uint64_t mapped_bytes_ = 0;
+  std::uint64_t requested_bytes_ = 0;
   std::uint64_t mmap_calls_ = 0;
   std::uint64_t munmap_calls_ = 0;
 };

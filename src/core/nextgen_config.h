@@ -72,6 +72,23 @@ struct NgxConfig {
   // Back spans with 2 MiB hugepages (TLB reach).
   bool hugepage_spans = true;
 
+  // Hugepage span packing (DESIGN.md §16): carve 32 contiguous 64-KiB spans
+  // out of each 2-MiB hugepage map instead of aligning every span up to a
+  // whole hugepage. The donation grant unit shrinks back to one span and
+  // small heap_window budgets become honest (no 31/32 map waste). Requires
+  // hugepage_spans; false (the default) keeps the historical
+  // one-span-per-hugepage maps bit-identical.
+  bool hugepage_packing = false;
+
+  // Hugepage-backed fabric metadata (DESIGN.md §16): back the per-(client,
+  // shard) channel blocks, the free-batch buffers, the stash cache lines and
+  // the segregated metadata window with PageKind::kHuge2M mappings so
+  // client-side acquire-reads and server-side carve walks stop taking 4-KiB
+  // dTLB walks -- the paper's Table-1 dTLB argument carried into the fabric's
+  // own structures. False (the default) keeps every metadata region on 4-KiB
+  // pages, bit-identical to pre-knob builds.
+  bool hugepage_metadata = false;
+
   // Section 3.3.2: server-side run prediction + batch preallocation into a
   // per-client stash.
   bool prediction = false;

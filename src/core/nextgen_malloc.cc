@@ -51,6 +51,9 @@ NgxAllocator::NgxAllocator(Machine& machine, OffloadFabric* fabric, const NgxCon
   ServerHeapConfig hc;
   hc.span_bytes = 64 * 1024;  // page-granular spans: reuse locality
   hc.hugepage_spans = config.hugepage_spans;
+  hc.hugepage_metadata = config.hugepage_metadata;
+  NGX_CHECK(!config.hugepage_packing || config.hugepage_spans,
+            "hugepage_packing packs hugepage spans; enable hugepage_spans");
   // The Figure-2 bool wins over the finer selector so existing aggregated
   // ablations keep meaning what they said.
   heap_kind_ = config.segregated_metadata ? config.heap_kind : HeapKind::kAggregated;
@@ -61,10 +64,18 @@ NgxAllocator::NgxAllocator(Machine& machine, OffloadFabric* fabric, const NgxCon
   hc.use_lock = !config.remove_atomics;
   span_bytes_ = hc.span_bytes;
   // Spans are donated in whole map units: a 2 MiB-backed span grant must be
-  // 2 MiB-sized and -aligned or the recipient's provider cannot map it.
-  const std::uint64_t page = config.hugepage_spans ? kHugePageBytes : kSmallPageBytes;
+  // 2 MiB-sized and -aligned or the recipient's provider cannot map it --
+  // unless packing is on, in which case maps are span-granular again (the
+  // shared hugepage ledger keeps frames straddling a donation boundary
+  // backed) and the grant unit shrinks back to one span.
+  const std::uint64_t page = (config.hugepage_spans && !config.hugepage_packing)
+                                 ? kHugePageBytes
+                                 : kSmallPageBytes;
   grant_unit_spans_ = AlignUp(span_bytes_, page) / span_bytes_;
   grant_align_ = std::max(span_bytes_, page);
+  if (config.hugepage_packing) {
+    hugepage_ledger_ = std::make_unique<HugepageLedger>();
+  }
   // Shards start from equal disjoint slices of the heap window; the span
   // directory then tracks ownership as donation moves spans between them.
   // config.heap_window shrinks the data window (partition-exhaustion tests);
@@ -77,6 +88,8 @@ NgxAllocator::NgxAllocator(Machine& machine, OffloadFabric* fabric, const NgxCon
   NGX_CHECK(shard_window_ % kHugePageBytes == 0,
             "shard slices must stay hugepage aligned");
   const std::uint64_t meta_stride = kHeapWindow / static_cast<std::uint64_t>(nshards);
+  NGX_CHECK(!config.hugepage_metadata || meta_stride % kHugePageBytes == 0,
+            "hugepage-backed metadata slices must stay hugepage aligned");
   hc.window_bytes = shard_window_;
   hc.meta_window_bytes = meta_stride;
   if (nshards > 1) {
@@ -106,6 +119,12 @@ NgxAllocator::NgxAllocator(Machine& machine, OffloadFabric* fabric, const NgxCon
                                     kNgxHeapBase + shard_window_ * static_cast<std::uint64_t>(s),
                                     kNgxMetaBase + meta_stride * static_cast<std::uint64_t>(s),
                                     hc));
+    if (hugepage_ledger_ != nullptr) {
+      // One ledger for the whole fabric (spans migrate between shard
+      // providers); the span provider maps lazily, so attaching here is
+      // always before its first Map.
+      heaps_.back()->span_provider().set_hugepage_ledger(hugepage_ledger_.get());
+    }
     if (directory_ != nullptr) {
       // Host-side bookkeeping mirror of this shard's data mappings; the
       // observer must never touch simulated state.
@@ -135,7 +154,7 @@ NgxAllocator::NgxAllocator(Machine& machine, OffloadFabric* fabric, const NgxCon
                                                        "ngx-freebuf");
     freebuf_base_ = freebuf_provider_->MapAtStartup(
         machine, freebuf_stride_ * static_cast<std::uint64_t>(machine.num_cores()),
-        PageKind::kSmall4K);
+        config.hugepage_metadata ? PageKind::kHuge2M : PageKind::kSmall4K);
   }
   if (rebalance_) {
     // Two tick paths into the same guard: the engines' post-drain hooks
@@ -199,7 +218,8 @@ NgxAllocator::NgxAllocator(Machine& machine, OffloadFabric* fabric, const NgxCon
     stash_provider_ = std::make_unique<PageProvider>(
         kNgxMetaBase + kHeapWindow, kHeapWindow, "ngx-stash");
     stash_base_ = stash_provider_->MapAtStartup(
-        machine, stash_stride_ * machine.num_cores(), PageKind::kSmall4K);
+        machine, stash_stride_ * machine.num_cores(),
+        config.hugepage_metadata ? PageKind::kHuge2M : PageKind::kSmall4K);
   }
   if (pipeline_) {
     // With refills riding the ring instead of piggybacking on sync mallocs,
@@ -1068,9 +1088,12 @@ std::uint64_t NgxAllocator::NeededGrantSpans(std::uint64_t size) const {
     // Aggregated large regions carry a page-sized header before user bytes.
     map_bytes = AlignUp(size, kSmallPageBytes) + kSmallPageBytes;
   } else {
-    // Segregated and segment heaps both map span-aligned multiples.
+    // Segregated and segment heaps both map span-aligned multiples; packed
+    // hugepage maps are span-granular again, so no hugepage round-up.
     map_bytes = AlignUp(AlignUp(size, span_bytes_),
-                        config_.hugepage_spans ? kHugePageBytes : kSmallPageBytes);
+                        (config_.hugepage_spans && !config_.hugepage_packing)
+                            ? kHugePageBytes
+                            : kSmallPageBytes);
   }
   const std::uint64_t spans = AlignUp(map_bytes, span_bytes_) / span_bytes_;
   return AlignUp(spans, grant_unit_spans_);
@@ -1660,6 +1683,22 @@ AllocatorStats NgxAllocator::stats() const {
   return total;
 }
 
+std::uint64_t NgxAllocator::map_mapped_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& h : heaps_) {
+    total += const_cast<ServerHeap&>(*h).span_provider().mapped_bytes();
+  }
+  return total;
+}
+
+std::uint64_t NgxAllocator::map_requested_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& h : heaps_) {
+    total += const_cast<ServerHeap&>(*h).span_provider().requested_bytes();
+  }
+  return total;
+}
+
 NgxSystem MakeNgxSystem(Machine& machine, const NgxConfig& config,
                         std::vector<int> server_cores) {
   NgxSystem sys;
@@ -1672,7 +1711,8 @@ NgxSystem MakeNgxSystem(Machine& machine, const NgxConfig& config,
     machine.address_map().Add(
         Region{kChannelBase,
                OffloadFabric::ChannelRegionBytes(machine, config.num_shards),
-               PageKind::kSmall4K, "channel"});
+               config.hugepage_metadata ? PageKind::kHuge2M : PageKind::kSmall4K,
+               "channel"});
     sys.allocator = std::make_unique<NgxAllocator>(machine, sys.fabric.get(), config);
   } else {
     sys.allocator = std::make_unique<NgxAllocator>(machine, nullptr, config);

@@ -149,6 +149,22 @@ class NgxAllocator : public Allocator {
   std::uint64_t stash_hits() const { return stash_hits_; }
   std::uint64_t sync_mallocs() const { return sync_mallocs_; }
 
+  // ---- Map-waste honesty (DESIGN.md §16) ----
+  // Summed over every shard's span provider: bytes the providers actually
+  // mapped vs bytes the heaps asked for (4-KiB granular). Without packing,
+  // each hugepage-backed 64-KiB span map charges a whole 2 MiB, so waste is
+  // 31/32 of the span footprint; with packing it collapses to the partially
+  // filled frontier frames. Host-side observation only.
+  std::uint64_t map_mapped_bytes() const;
+  std::uint64_t map_requested_bytes() const;
+  std::uint64_t map_waste_bytes() const {
+    const std::uint64_t mapped = map_mapped_bytes();
+    const std::uint64_t req = map_requested_bytes();
+    return mapped > req ? mapped - req : 0;
+  }
+  // Non-null iff config.hugepage_packing: the fabric-wide frame refcounts.
+  const HugepageLedger* hugepage_ledger() const { return hugepage_ledger_.get(); }
+
   // Stash pipeline observability (config.stash_pipeline; DESIGN.md §9).
   bool stash_pipelined() const { return pipeline_; }
   // Background kRefillStash fills served / halves flipped by clients.
@@ -425,6 +441,9 @@ class NgxAllocator : public Allocator {
   SizeClasses classes_;  // client-side class computation for stash/routing
   std::vector<std::unique_ptr<ServerHeap>> heaps_;  // one partition per shard
   std::vector<std::unique_ptr<ShardServer>> shard_servers_;
+  // Fabric-wide hugepage frame refcounts (config.hugepage_packing); shared
+  // by every shard's span provider so donated spans stay on backed frames.
+  std::unique_ptr<HugepageLedger> hugepage_ledger_;
   std::uint64_t shard_window_ = 0;  // bytes of heap window per shard (initial slice)
   std::unique_ptr<SpanDirectory> directory_;  // span->shard owner (num_shards > 1)
   bool donation_ = false;            // kDonateSpan rebalancing active

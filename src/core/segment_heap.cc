@@ -51,8 +51,9 @@ SegmentHeap::SegmentHeap(Machine& machine, Addr heap_base, Addr meta_base,
   // in the 16-bit bump/free fields (the 16 B class bounds it anyway).
   NGX_CHECK(layout_.unit_bytes() / 16 < (1u << 16),
             "slab freelist indices must fit in 16 bits");
-  const Addr mapped = meta_provider_.MapAtStartup(machine, layout_.MappedMetaBytes(),
-                                                  PageKind::kSmall4K);
+  const Addr mapped = meta_provider_.MapAtStartup(
+      machine, layout_.MappedMetaBytes(),
+      config.hugepage_metadata ? PageKind::kHuge2M : PageKind::kSmall4K);
   NGX_CHECK(mapped == meta_base, "segment metadata must start at the window base");
   // Retention needs retirement to be lazy; with empty_segment_retain = 0 the
   // caller asked for the return-everything mode and retirement stays eager

@@ -60,7 +60,11 @@ class SegregatedHeap : public ServerHeap {
         IndexStack::FootprintBytes(config.stack_capacity * kOverflowMultiple),
         kSmallPageBytes);
     overflow_depth_.assign(ncls, 0);
-    meta_base_ = meta_provider_.MapAtStartup(machine, total, PageKind::kSmall4K);
+    // One contiguous table block: hugepage_metadata trades a little tail
+    // rounding for 2-MiB TLB reach over the span map the carve path walks.
+    meta_base_ = meta_provider_.MapAtStartup(
+        machine, total,
+        config.hugepage_metadata ? PageKind::kHuge2M : PageKind::kSmall4K);
     stack_stride_ = stack_stride;
     lock_ = SimLock(meta_base_);
   }
@@ -312,7 +316,7 @@ class AggregatedHeap : public ServerHeap {
         "ngx-agg-meta");
     meta_base_ = meta_provider_->MapAtStartup(
         machine, AlignUp(64 + 8ull * ncls + 16ull * ncls, kSmallPageBytes),
-        PageKind::kSmall4K);
+        config.hugepage_metadata ? PageKind::kHuge2M : PageKind::kSmall4K);
     lock_ = SimLock(meta_base_);
   }
 

@@ -75,6 +75,9 @@ struct ServerHeapConfig {
   HeapKind heap_kind = HeapKind::kSegregated;
   bool use_lock = false;  // keep the 2-atomics-per-op lock (ablation)
   bool hugepage_spans = true;
+  // Back the metadata window (segregated side tables / segment directory)
+  // with 2-MiB mappings instead of 4-KiB ones (NgxConfig::hugepage_metadata).
+  bool hugepage_metadata = false;
   std::uint64_t span_bytes = 128 * 1024;
   std::uint64_t small_max = 32 * 1024;
   std::uint32_t stack_capacity = 8192;  // per-class free stack (segregated)

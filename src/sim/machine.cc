@@ -2,7 +2,33 @@
 
 #include <cassert>
 
+#include "src/alloc/layout.h"
+
 namespace ngx {
+
+namespace {
+
+// Buckets a data address into the fabric window it belongs to (layout.h's
+// global carve-up) for the per-region dTLB breakdown. The stash provider
+// lives at kNgxMetaBase + kHeapWindow, inside the [kNgxMetaBase,
+// kNgxFreeBufBase) range, so stash lines count as metadata.
+TlbRegion ClassifyTlbRegion(Addr addr) {
+  if (addr < kNgxHeapBase || addr >= kWorkloadBase) {
+    return TlbRegion::kOther;
+  }
+  if (addr < kNgxMetaBase) {
+    return TlbRegion::kHeap;
+  }
+  if (addr < kNgxFreeBufBase) {
+    return TlbRegion::kMetadata;
+  }
+  if (addr < kChannelBase) {
+    return TlbRegion::kFreeBuf;
+  }
+  return TlbRegion::kChannel;
+}
+
+}  // namespace
 
 MachineConfig MachineConfig::Default(int num_cores) {
   MachineConfig m;
@@ -147,7 +173,10 @@ std::uint64_t Machine::LookupTlb(int core_id, Addr addr, AccessType type) {
   if (r.l1_miss) {
     ++c.pmu().dtlb_l1_misses;
   }
+  const auto region = static_cast<std::size_t>(ClassifyTlbRegion(addr));
+  ++c.pmu().dtlb_region_lookups[region];
   if (r.walk) {
+    ++c.pmu().dtlb_region_walks[region];
     if (type == AccessType::kLoad) {
       ++c.pmu().dtlb_load_misses;
     } else {

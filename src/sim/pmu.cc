@@ -4,6 +4,22 @@
 
 namespace ngx {
 
+const char* TlbRegionName(TlbRegion r) {
+  switch (r) {
+    case TlbRegion::kHeap:
+      return "heap";
+    case TlbRegion::kMetadata:
+      return "metadata";
+    case TlbRegion::kFreeBuf:
+      return "freebuf";
+    case TlbRegion::kChannel:
+      return "channel";
+    case TlbRegion::kOther:
+      return "other";
+  }
+  return "?";
+}
+
 PmuCounters& PmuCounters::operator+=(const PmuCounters& o) {
   cycles += o.cycles;
   instructions += o.instructions;
@@ -20,6 +36,12 @@ PmuCounters& PmuCounters::operator+=(const PmuCounters& o) {
   dtlb_load_misses += o.dtlb_load_misses;
   dtlb_store_misses += o.dtlb_store_misses;
   dtlb_l1_misses += o.dtlb_l1_misses;
+  for (int r = 0; r < kNumTlbRegions; ++r) {
+    dtlb_region_lookups[static_cast<std::size_t>(r)] +=
+        o.dtlb_region_lookups[static_cast<std::size_t>(r)];
+    dtlb_region_walks[static_cast<std::size_t>(r)] +=
+        o.dtlb_region_walks[static_cast<std::size_t>(r)];
+  }
   alloc_instructions += o.alloc_instructions;
   alloc_cycles += o.alloc_cycles;
   invalidations_sent += o.invalidations_sent;

@@ -4,10 +4,26 @@
 #ifndef NGX_SRC_SIM_PMU_H_
 #define NGX_SRC_SIM_PMU_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 
 namespace ngx {
+
+// Address-range buckets for the per-region dTLB breakdown: which fabric
+// structure a data access was translating when it looked up the TLB. The
+// machine classifies by the layout.h window an address falls in (DESIGN.md
+// §16); everything outside the allocator's windows (workload buffers, stacks)
+// lands in kOther.
+enum class TlbRegion : std::uint8_t {
+  kHeap = 0,     // span/large data windows (kNgxHeapBase)
+  kMetadata,     // heap side tables + stash lines (kNgxMetaBase)
+  kFreeBuf,      // remote-free batch buffers (kNgxFreeBufBase)
+  kChannel,      // offload mailboxes/rings (kChannelBase)
+  kOther,        // workload buffers and everything unmapped by the fabric
+};
+inline constexpr int kNumTlbRegions = 5;
+const char* TlbRegionName(TlbRegion r);
 
 struct PmuCounters {
   std::uint64_t cycles = 0;
@@ -36,6 +52,14 @@ struct PmuCounters {
   std::uint64_t dtlb_load_misses = 0;
   std::uint64_t dtlb_store_misses = 0;
   std::uint64_t dtlb_l1_misses = 0;  // missed the first level only
+
+  // Per-region dTLB breakdown (indexed by TlbRegion): TLB lookups issued
+  // while translating an address in each fabric window, and how many of them
+  // walked the page table. Observational only -- never folded into the
+  // determinism hash, so region accounting can evolve without breaking
+  // pinned-state replays.
+  std::array<std::uint64_t, kNumTlbRegions> dtlb_region_lookups{};
+  std::array<std::uint64_t, kNumTlbRegions> dtlb_region_walks{};
 
   // Cycles/instructions spent inside allocator code on this core (tracked
   // via Env::AllocScope); lets benches report the paper's "only 2% of time

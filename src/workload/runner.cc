@@ -57,6 +57,12 @@ RunResult RunWorkload(Machine& machine, Allocator& alloc, Workload& workload,
     result.shards_parked = ngx->shards_parked();
     result.parked_core_cycles = ngx->parked_core_cycles();
     result.fleet_timeline = ngx->fleet_timeline();
+    result.map_mapped_bytes = ngx->map_mapped_bytes();
+    result.map_requested_bytes = ngx->map_requested_bytes();
+    result.map_waste_bytes = ngx->map_waste_bytes();
+    if (ngx->hugepage_ledger() != nullptr) {
+      result.hugepage_backed_bytes = ngx->hugepage_ledger()->backed_bytes();
+    }
   }
   if (machine.telemetry().enabled()) {
     const MetricsRegistry& m = machine.telemetry().metrics();

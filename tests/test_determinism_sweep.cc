@@ -466,6 +466,93 @@ TEST(TenantTraitsDeterminism, DefaultTraitsReplayThePinnedPipelineHash) {
       << "an all-default tenant list must be bit-identical to no tenants";
 }
 
+// ---- Hugepage knob determinism (DESIGN.md §16) ----
+//
+// hugepage_packing and hugepage_metadata default off, and off must mean OFF:
+// the pipeline run with both knobs explicitly false replays the same pinned
+// hash as the knob-less build. With the full hugepage stack on, the run is
+// still a deterministic simulation and the program-visible books are
+// untouched -- the knobs may only move translations and syscalls.
+std::uint64_t HashedTable3HugepageRun(AllocatorStats* stats_out = nullptr) {
+  Machine machine(bench::Table3Machine());
+  NgxConfig cfg = NgxConfig::PaperPrototype();
+  cfg.hugepage_spans = true;
+  cfg.hugepage_packing = true;
+  cfg.hugepage_metadata = true;
+  cfg.prediction = true;
+  cfg.stash_pipeline = true;
+  cfg.stash_refill_mark = 2;
+  cfg.stash_capacity = 14;
+  NgxSystem sys = MakeNgxSystem(machine, cfg, /*server_core=*/1);
+  XalancLike wl(bench::XalancTable3Config());
+  RunOptions opt;
+  opt.cores = {0};
+  opt.seed = 7;
+  opt.server_cores = {1};
+  const RunResult r = RunWorkload(machine, *sys.allocator, wl, opt);
+  if (stats_out != nullptr) {
+    *stats_out = r.alloc_stats;
+  }
+  return bench::SimStateHash(r);
+}
+
+TEST(HugepageDeterminism, ExplicitOffKnobsReplayThePinnedPipelineHash) {
+  auto run = [] {
+    Machine machine(bench::Table3Machine());
+    NgxConfig cfg = NgxConfig::PaperPrototype();
+    cfg.hugepage_spans = false;
+    cfg.hugepage_packing = false;   // explicit, not just defaulted
+    cfg.hugepage_metadata = false;  // explicit, not just defaulted
+    cfg.prediction = true;
+    cfg.stash_pipeline = true;
+    cfg.stash_refill_mark = 2;
+    cfg.stash_capacity = 14;
+    NgxSystem sys = MakeNgxSystem(machine, cfg, /*server_core=*/1);
+    XalancLike wl(bench::XalancTable3Config());
+    RunOptions opt;
+    opt.cores = {0};
+    opt.seed = 7;
+    opt.server_cores = {1};
+    return bench::SimStateHash(RunWorkload(machine, *sys.allocator, wl, opt));
+  };
+  EXPECT_EQ(run(), kTable3PipelineHash)
+      << "hugepage_packing/hugepage_metadata = false must be bit-identical to "
+         "the pre-§16 build";
+}
+
+TEST(HugepageDeterminism, PackedMetadataRunReplaysBitIdentically) {
+  AllocatorStats a_stats;
+  AllocatorStats b_stats;
+  const std::uint64_t a = HashedTable3HugepageRun(&a_stats);
+  const std::uint64_t b = HashedTable3HugepageRun(&b_stats);
+  EXPECT_EQ(a, b) << "spans+packing+metadata must replay bit-identically";
+  EXPECT_NE(a, kTable3PipelineHash)
+      << "the hugepage stack must actually change simulated history";
+  // The knobs only move translations and syscalls, never program-visible
+  // allocation behaviour: the logical books match the knob-less pipeline.
+  EXPECT_EQ(a_stats.mallocs, b_stats.mallocs);
+  const AllocatorStats base = [] {
+    Machine m(bench::Table3Machine());
+    NgxConfig cfg = NgxConfig::PaperPrototype();
+    cfg.hugepage_spans = false;
+    cfg.prediction = true;
+    cfg.stash_pipeline = true;
+    cfg.stash_refill_mark = 2;
+    cfg.stash_capacity = 14;
+    NgxSystem sys = MakeNgxSystem(m, cfg, /*server_core=*/1);
+    XalancLike wl(bench::XalancTable3Config());
+    RunOptions opt;
+    opt.cores = {0};
+    opt.seed = 7;
+    opt.server_cores = {1};
+    return RunWorkload(m, *sys.allocator, wl, opt).alloc_stats;
+  }();
+  EXPECT_EQ(a_stats.mallocs, base.mallocs);
+  EXPECT_EQ(a_stats.frees, base.frees);
+  EXPECT_EQ(a_stats.bytes_requested, base.bytes_requested);
+  EXPECT_EQ(a_stats.oom_failures, base.oom_failures);
+}
+
 // Heterogeneous traits + lane admission across {1, 2, 4} shards: the QoS
 // machinery (lane-priority DrainAll sweeps, quantum-bounded bulk windows,
 // the shadow no-bulk schedule) must replay exactly, and the books must
